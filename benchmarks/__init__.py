@@ -1,0 +1,1 @@
+"""Benchmark suite: regenerates every table and figure of the paper."""

@@ -1,0 +1,30 @@
+"""Shared helpers for the benchmark suite.
+
+Every file under ``benchmarks/`` regenerates one table or figure of the
+paper's evaluation (Section 6).  The experiments run a full simulated
+deployment once (``benchmark.pedantic`` with a single round -- a run *is*
+the measurement; re-running it only repeats the same deterministic
+simulation) and print the resulting series in the paper's format.
+
+Sizing is selected with ``REPRO_BENCH_PROFILE`` = smoke | quick | full
+(default: quick).  Shape assertions (who wins, which direction curves
+bend) are part of every benchmark, so ``pytest benchmarks/`` failing
+means the reproduction lost a qualitative result, not a absolute number.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run ``func`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)
+
+
+@pytest.fixture
+def profile():
+    from repro.bench.experiments import bench_profile
+
+    return bench_profile()

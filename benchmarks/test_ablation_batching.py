@@ -1,0 +1,28 @@
+"""Ablation: request batching on/off (design choice of Section 5.1).
+
+The paper credits aggressive batching for Tell's low request counts;
+turning it off sends every storage operation as its own round trip.
+Expected: substantially more messages per transaction and lower
+throughput without batching.
+"""
+
+from benchmarks.conftest import run_once
+from repro.bench.experiments import run_ablation_batching
+from repro.bench.tables import print_table
+
+
+def test_ablation_batching(benchmark):
+    rows = run_once(benchmark, run_ablation_batching)
+    print_table(
+        ["Batching", "TpmC", "Messages/txn", "Latency (ms)"],
+        [
+            ("on" if r["batching"] else "off", r["tpmc"],
+             r["messages_per_txn"], r["latency_ms"])
+            for r in rows
+        ],
+        title="Ablation: operation batching (standard mix, RF1)",
+    )
+    on = next(r for r in rows if r["batching"])
+    off = next(r for r in rows if not r["batching"])
+    assert off["messages_per_txn"] > on["messages_per_txn"] * 1.5
+    assert on["tpmc"] > off["tpmc"]

@@ -1,0 +1,27 @@
+"""Ablation: tid range size (Section 4.2).
+
+Commit managers acquire *ranges* of tids (e.g. 256) from the shared
+counter to avoid making it a bottleneck; the paper notes the approach's
+cost is a (slightly) higher abort rate from coarser snapshot ordering.
+Range size 1 means one storage round trip per transaction start.
+"""
+
+from benchmarks.conftest import run_once
+from repro.bench.experiments import run_ablation_tid_ranges
+from repro.bench.tables import print_table
+
+
+def test_ablation_tid_ranges(benchmark):
+    rows = run_once(benchmark, run_ablation_tid_ranges)
+    print_table(
+        ["tid range", "TpmC", "Abort rate", "Latency (ms)"],
+        [
+            (r["tid_range"], r["tpmc"], f"{r['abort_rate'] * 100:.2f}%",
+             r["latency_ms"])
+            for r in rows
+        ],
+        title="Ablation: tid range size (standard mix, RF1)",
+    )
+    by_range = {r["tid_range"]: r for r in rows}
+    # Ranges amortize the counter round trip; range 1 must not be faster.
+    assert by_range[256]["tpmc"] >= by_range[1]["tpmc"] * 0.9

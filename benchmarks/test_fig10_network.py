@@ -1,0 +1,42 @@
+"""Figure 10 + Table 5: InfiniBand vs 10 Gb Ethernet (standard mix, RF1).
+
+Paper shapes: with Tell's synchronous processing model, low-latency
+RDMA-style networking delivers *several times* the throughput of kernel-
+TCP Ethernet at every PN count (paper: >6x); mean response time mirrors
+the throughput difference, and tail percentiles stay bounded (the
+network is not congested).
+"""
+
+from benchmarks.conftest import run_once
+from repro.bench.experiments import run_network_comparison
+from repro.bench.tables import print_table
+
+
+def test_fig10_network_and_table5(benchmark):
+    rows = run_once(benchmark, run_network_comparison)
+    print_table(
+        ["Network", "PNs", "TpmC", "Latency (ms)", "TP99 (ms)", "TP999 (ms)"],
+        [
+            (r["network"], r["pns"], r["tpmc"], r["latency_ms"],
+             r["tp99_ms"], r["tp999_ms"])
+            for r in rows
+        ],
+        title="Figure 10 / Table 5: InfiniBand vs 10GbE (standard mix, RF1)",
+    )
+    by_network = {}
+    for row in rows:
+        by_network.setdefault(row["network"], {})[row["pns"]] = row
+
+    infiniband = by_network["infiniband"]
+    ethernet = by_network["ethernet-10g"]
+    for pns in infiniband:
+        # InfiniBand wins by a large factor at every PN count (paper: >6x).
+        assert infiniband[pns]["tpmc"] > 2.5 * ethernet[pns]["tpmc"], (
+            f"at {pns} PNs"
+        )
+        # Ethernet latency is higher.
+        assert ethernet[pns]["latency_ms"] > infiniband[pns]["latency_ms"]
+    # Tails bounded: no congestion collapse (paper: low outlier counts).
+    top = max(infiniband)
+    assert infiniband[top]["tp999_ms"] < 40 * infiniband[top]["latency_ms"]
+    assert ethernet[top]["tp999_ms"] < 40 * ethernet[top]["latency_ms"]

@@ -1,0 +1,42 @@
+"""Figure 11: buffering strategies TB / SB / SBVS-10 / SBVS-1000.
+
+Paper shapes (a key negative result): for TPC-C over fast RDMA, the
+plain transaction buffer (TB) wins -- shared-buffer management overhead
+outweighs its benefit (SB's hit ratio is ~1.4%), and version-set
+synchronization (SBVS) achieves a much higher hit ratio (~37% at unit
+size 1000) but pays extra update requests that cancel the savings.
+"""
+
+from benchmarks.conftest import run_once
+from repro.bench.experiments import run_buffering_strategies
+from repro.bench.tables import print_table
+
+
+def test_fig11_buffering(benchmark):
+    rows = run_once(benchmark, run_buffering_strategies)
+    print_table(
+        ["Strategy", "PNs", "TpmC", "Cache hit ratio"],
+        [
+            (r["strategy"], r["pns"], r["tpmc"],
+             f"{r['hit_ratio'] * 100:.2f}%")
+            for r in rows
+        ],
+        title="Figure 11: buffering strategies (standard mix, RF1)",
+    )
+    peak = {}
+    hits = {}
+    for row in rows:
+        name = row["strategy"]
+        peak[name] = max(peak.get(name, 0.0), row["tpmc"])
+        hits[name] = max(hits.get(name, 0.0), row["hit_ratio"])
+
+    # TB reaches the highest throughput (within noise it must at least
+    # match every shared-buffer variant).
+    for other in ("sb", "sbvs10", "sbvs1000"):
+        assert peak["tb"] >= peak[other] * 0.95, (
+            f"TB should win or tie, but {other} got {peak[other]:.0f} "
+            f"vs tb {peak['tb']:.0f}"
+        )
+    # SB's hit ratio is tiny for TPC-C; SBVS with big units is much higher.
+    assert hits["sb"] < 0.25
+    assert hits["sbvs1000"] > hits["sb"]

@@ -1,0 +1,44 @@
+"""Figure 5: processing scale-out, write-intensive mix, RF1/RF2/RF3.
+
+Paper shapes to reproduce: throughput grows with PNs (sub-linearly, due
+to contention on the warehouse table); the abort rate rises with PNs
+(paper: 2.91% at 1 PN -> 14.72% at 8 PNs at 200 warehouses); synchronous
+replication costs heavily under writes (RF3 ~ -63% vs RF1 at 8 PNs).
+"""
+
+from benchmarks.conftest import run_once
+from repro.bench.experiments import run_scaleout_processing
+from repro.bench.tables import print_table
+
+
+def test_fig5_scaleout_write(benchmark):
+    rows = run_once(benchmark, run_scaleout_processing, "standard")
+    print_table(
+        ["RF", "PNs", "TpmC", "Abort rate", "Latency (ms)"],
+        [
+            (r["rf"], r["pns"], r["tpmc"], f"{r['abort_rate'] * 100:.2f}%",
+             r["latency_ms"])
+            for r in rows
+        ],
+        title="Figure 5: scale-out processing (TPC-C standard mix)",
+    )
+    by_rf = {}
+    for row in rows:
+        by_rf.setdefault(row["rf"], []).append(row)
+
+    for rf, series in by_rf.items():
+        series.sort(key=lambda r: r["pns"])
+        # Throughput grows with processing nodes ...
+        assert series[-1]["tpmc"] > series[0]["tpmc"] * 1.5, (
+            f"RF{rf}: no scale-out"
+        )
+        # ... and the abort rate grows with contention.
+        assert series[-1]["abort_rate"] > series[0]["abort_rate"]
+
+    # Replication is expensive under the write-intensive mix.
+    top_rf1 = max(r["tpmc"] for r in by_rf[1])
+    top_rf3 = max(r["tpmc"] for r in by_rf[3])
+    assert top_rf3 < top_rf1 * 0.75, "RF3 should cost >25% under writes"
+    # RF2 sits in between.
+    top_rf2 = max(r["tpmc"] for r in by_rf[2])
+    assert top_rf3 <= top_rf2 <= top_rf1

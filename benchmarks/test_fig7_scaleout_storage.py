@@ -1,0 +1,35 @@
+"""Figure 7: storage scale-out (3 / 5 / 7 SNs), standard mix at RF3.
+
+Paper shape: the storage layer is not the bottleneck in any of the
+configurations, so throughput differs only minimally between 3, 5, and 7
+storage nodes -- storage sizing should follow memory capacity, not CPU.
+"""
+
+from benchmarks.conftest import run_once
+from repro.bench.experiments import run_scaleout_storage
+from repro.bench.tables import print_table
+
+
+def test_fig7_scaleout_storage(benchmark):
+    rows = run_once(benchmark, run_scaleout_storage)
+    print_table(
+        ["SNs", "PNs", "TpmC", "Abort rate"],
+        [
+            (r["sns"], r["pns"], r["tpmc"], f"{r['abort_rate'] * 100:.2f}%")
+            for r in rows
+        ],
+        title="Figure 7: scale-out storage (standard mix, RF3)",
+    )
+    by_sns = {}
+    for row in rows:
+        by_sns.setdefault(row["sns"], []).append(row)
+    peak = {
+        sns: max(r["tpmc"] for r in series) for sns, series in by_sns.items()
+    }
+    # The throughput difference between storage configurations is minimal
+    # (the paper's point: SNs are provisioned for memory, not CPU).
+    assert max(peak.values()) < min(peak.values()) * 1.5, peak
+    # And each configuration still scales with processing nodes.
+    for sns, series in by_sns.items():
+        series.sort(key=lambda r: r["pns"])
+        assert series[-1]["tpmc"] > series[0]["tpmc"] * 1.5

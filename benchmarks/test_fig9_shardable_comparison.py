@@ -1,0 +1,40 @@
+"""Figure 9: TPC-C *shardable* mix -- the workload partitioned systems
+are built for (all cross-warehouse accesses removed), RF1 and RF3.
+
+Paper shapes: VoltDB now fulfills its scalability promise and wins
+(1.54M TpmC RF1 vs Tell's 1.36M: Tell within ~12%); Tell remains in the
+same ballpark, while MySQL Cluster is barely faster than on the standard
+mix.
+"""
+
+from benchmarks.conftest import run_once
+from repro.bench.experiments import run_system_comparison
+from repro.bench.tables import print_table
+
+
+def test_fig9_shardable_comparison(benchmark):
+    rows = run_once(
+        benchmark, run_system_comparison, "shardable", (1, 3)
+    )
+    print_table(
+        ["System", "RF", "Cores", "TpmC", "Latency (ms)"],
+        [
+            (r["system"], r["rf"], r["cores"], r["tpmc"], r["latency_ms"])
+            for r in rows
+        ],
+        title="Figure 9: throughput, TPC-C shardable mix",
+    )
+    peak = {}
+    for row in rows:
+        key = (row["system"], row["rf"])
+        peak[key] = max(peak.get(key, 0.0), row["tpmc"])
+
+    # VoltDB wins on its home turf ...
+    assert peak[("voltdb", 1)] > peak[("tell", 1)]
+    # ... but Tell stays in the same ballpark (paper: within ~12%).
+    assert peak[("tell", 1)] > peak[("voltdb", 1)] * 0.3
+    # Both systems scale on this mix.
+    assert peak[("voltdb", 1)] > peak[("mysql-cluster", 1)]
+    # Replication costs both systems throughput.
+    assert peak[("voltdb", 3)] < peak[("voltdb", 1)]
+    assert peak[("tell", 3)] < peak[("tell", 1)]

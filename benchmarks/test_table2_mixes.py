@@ -1,0 +1,37 @@
+"""Table 2: the write- and read-intensive TPC-C workload mixes."""
+
+from benchmarks.conftest import run_once
+from repro.bench.tables import print_table
+from repro.workloads.tpcc.mixes import READ_INTENSIVE_MIX, STANDARD_MIX
+
+
+def build_rows():
+    rows = []
+    for mix in (STANDARD_MIX, READ_INTENSIVE_MIX):
+        weights = dict(mix.weights)
+        rows.append((
+            mix.name,
+            f"{mix.write_ratio * 100:.2f}%",
+            mix.throughput_metric.upper(),
+            f"{weights.get('new_order', 0):.0f}%",
+            f"{weights.get('payment', 0):.0f}%",
+            f"{weights.get('delivery', 0):.0f}%",
+            f"{weights.get('order_status', 0):.0f}%",
+            f"{weights.get('stock_level', 0):.0f}%",
+        ))
+    return rows
+
+
+def test_table2_mixes(benchmark):
+    rows = run_once(benchmark, build_rows)
+    print_table(
+        ["Mix", "Write Ratio", "Metric", "New-Order", "Payment",
+         "Delivery", "Order Status", "Stock Level"],
+        rows,
+        title="Table 2: TPC-C workload mixes (paper: 35.84% / 4.89% write)",
+    )
+    standard, read_intensive = rows
+    # Shape: the standard mix is write-intensive, the other is not.
+    assert float(standard[1].rstrip("%")) > 20.0
+    assert float(read_intensive[1].rstrip("%")) < 10.0
+    assert standard[2] == "TPMC" and read_intensive[2] == "TPS"

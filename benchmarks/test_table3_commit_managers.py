@@ -1,0 +1,29 @@
+"""Table 3: running 1 / 2 / 4 commit managers (standard mix, RF1).
+
+Paper shape: the commit manager is *not* a bottleneck -- throughput and
+abort rate stay essentially flat whether one or several managers serve
+the cluster, despite the snapshot being synchronized through the store
+with a 1 ms delay.
+"""
+
+from benchmarks.conftest import run_once
+from repro.bench.experiments import run_commit_managers
+from repro.bench.tables import print_table
+
+
+def test_table3_commit_managers(benchmark):
+    rows = run_once(benchmark, run_commit_managers)
+    print_table(
+        ["Commit managers", "TpmC", "Tx abort rate"],
+        [
+            (r["commit_managers"], r["tpmc"], f"{r['abort_rate'] * 100:.2f}%")
+            for r in rows
+        ],
+        title="Table 3: commit managers (standard mix, RF1)",
+    )
+    tpmcs = [r["tpmc"] for r in rows]
+    aborts = [r["abort_rate"] for r in rows]
+    # Throughput flat within a modest band.
+    assert max(tpmcs) < min(tpmcs) * 1.35, tpmcs
+    # Abort rate not significantly affected by delayed snapshots.
+    assert max(aborts) - min(aborts) < 0.12, aborts

@@ -1,0 +1,56 @@
+"""Table 4: TPC-C transaction response times, small vs large clusters.
+
+Paper shapes: Tell's mean latency is the lowest of all systems and grows
+only mildly from the small to the large configuration; VoltDB's standard-
+mix latency explodes into hundreds of milliseconds (MP queueing) while
+its shardable latency is fine; FoundationDB sits at 150-250 ms.
+"""
+
+from benchmarks.conftest import run_once
+from repro.bench.experiments import run_system_comparison
+from repro.bench.tables import print_table
+
+
+def collect():
+    standard = run_system_comparison("standard")
+    shardable = run_system_comparison("shardable", (3,))
+    return standard, shardable
+
+
+def _small_large(series):
+    ordered = sorted(series, key=lambda r: r["cores"])
+    return ordered[0], ordered[-1]
+
+
+def test_table4_response_times(benchmark):
+    standard, shardable = run_once(benchmark, collect)
+    rows = []
+    for mix_name, data in (("standard", standard), ("shardable", shardable)):
+        by_system = {}
+        for row in data:
+            by_system.setdefault(row["system"], []).append(row)
+        for system, series in sorted(by_system.items()):
+            small, large = _small_large(series)
+            rows.append((
+                mix_name, system,
+                f"{small['latency_ms']:.1f} ± {small['latency_std_ms']:.1f}",
+                f"{large['latency_ms']:.1f} ± {large['latency_std_ms']:.1f}",
+            ))
+    print_table(
+        ["Mix", "System", "Small cluster (ms)", "Large cluster (ms)"],
+        rows,
+        title="Table 4: TPC-C transaction response time (mean ± sigma)",
+    )
+
+    def latency(data, system):
+        return _small_large(
+            [r for r in data if r["system"] == system]
+        )[1]["latency_ms"]
+
+    # Tell's latency is the lowest in the standard mix.
+    tell = latency(standard, "tell")
+    assert tell < latency(standard, "voltdb")
+    assert tell < latency(standard, "foundationdb")
+    assert tell < latency(standard, "mysql-cluster")
+    # VoltDB's standard latency is far worse than its shardable latency.
+    assert latency(standard, "voltdb") > 3 * latency(shardable, "voltdb")

@@ -1,0 +1,63 @@
+"""Extension experiment: scaling without workload assumptions (YCSB).
+
+TPC-C is partition-friendly by construction; the shared-data pitch
+(Section 2.1) is that scaling requires *no* workload structure.  This
+benchmark runs a zipfian YCSB mix -- keys with no locality whatsoever,
+the adversarial case for partitioned databases -- and shows Tell's
+throughput scaling with processing nodes on update-heavy (A) and
+read-only (C) mixes.
+"""
+
+from benchmarks.conftest import run_once
+from repro.bench.config import TellConfig
+from repro.bench.experiments import bench_profile
+from repro.bench.tables import print_table
+from repro.bench.ycsb_sim import SimulatedYcsb
+
+
+def run_ycsb_scaling():
+    profile = bench_profile()
+    rows = []
+    for mix in ("A", "C"):
+        for pns in profile.pn_counts:
+            config = TellConfig(
+                processing_nodes=pns,
+                storage_nodes=5,
+                threads_per_pn=profile.threads_per_pn,
+                mix=mix,
+                duration_us=profile.duration_us / 2,
+                warmup_us=profile.warmup_us / 2,
+            )
+            deployment = SimulatedYcsb(config, record_count=20_000)
+            deployment.load()
+            metrics = deployment.run()
+            rows.append({
+                "mix": f"YCSB-{mix}",
+                "pns": pns,
+                "tps": metrics.tps,
+                "abort_rate": metrics.abort_rate,
+                "latency_us": metrics.latency().mean_us,
+            })
+    return rows
+
+
+def test_ycsb_scaling(benchmark):
+    rows = run_once(benchmark, run_ycsb_scaling)
+    print_table(
+        ["Mix", "PNs", "Tps", "Abort rate", "Latency (us)"],
+        [
+            (r["mix"], r["pns"], r["tps"], f"{r['abort_rate'] * 100:.2f}%",
+             r["latency_us"])
+            for r in rows
+        ],
+        title="Extension: YCSB zipfian scaling (no partitionable structure)",
+    )
+    for mix in ("YCSB-A", "YCSB-C"):
+        series = sorted(
+            (r for r in rows if r["mix"] == mix), key=lambda r: r["pns"]
+        )
+        assert series[-1]["tps"] > series[0]["tps"] * 2.0, f"{mix} flat"
+    # The read-only mix never conflicts.
+    assert all(
+        r["abort_rate"] == 0.0 for r in rows if r["mix"] == "YCSB-C"
+    )

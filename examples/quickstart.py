@@ -1,0 +1,86 @@
+"""Quickstart: an embedded shared-data database in five minutes.
+
+Creates a Tell deployment in-process (3 storage nodes, replication
+factor 2, one commit manager), opens SQL sessions on independent
+processing nodes, and walks through DDL, DML, transactions, and joins.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro.api import Database
+from repro.errors import TransactionAborted
+
+
+def main() -> None:
+    # A full deployment in one process: storage cluster + commit manager.
+    db = Database(storage_nodes=3, replication_factor=2)
+    session = db.session()
+
+    # --- DDL ---------------------------------------------------------------
+    session.execute(
+        "CREATE TABLE products ("
+        "  sku INT PRIMARY KEY,"
+        "  name TEXT NOT NULL,"
+        "  category TEXT,"
+        "  price DECIMAL,"
+        "  stock INT DEFAULT 0"
+        ")"
+    )
+    session.execute("CREATE INDEX products_category ON products (category)")
+
+    # --- INSERT ------------------------------------------------------------
+    session.execute(
+        "INSERT INTO products (sku, name, category, price, stock) VALUES "
+        "(1, 'espresso machine', 'kitchen', 249.00, 12), "
+        "(2, 'grinder',          'kitchen',  89.00, 30), "
+        "(3, 'desk lamp',        'office',   39.90, 55), "
+        "(4, 'monitor arm',      'office',  129.00,  8), "
+        "(5, 'notebook',         'office',    4.50, 400)"
+    )
+
+    # --- Queries -----------------------------------------------------------
+    print("All products over 50:")
+    for row in session.query(
+        "SELECT name, price FROM products WHERE price > 50 ORDER BY price DESC"
+    ):
+        print(f"  {row['name']:<20} {row['price']:>8.2f}")
+
+    print("\nInventory value by category:")
+    for row in session.query(
+        "SELECT category, COUNT(*) AS items, SUM(price * stock) AS value "
+        "FROM products GROUP BY category ORDER BY category"
+    ):
+        print(f"  {row['category']:<10} {row['items']} items, "
+              f"value {row['value']:,.2f}")
+
+    # --- Transactions ------------------------------------------------------
+    print("\nSelling two espresso machines transactionally...")
+    session.execute("BEGIN")
+    session.execute("UPDATE products SET stock = stock - 2 WHERE sku = 1")
+    stock = session.query("SELECT stock FROM products WHERE sku = 1")
+    print(f"  stock inside the transaction: {stock[0]['stock']}")
+    session.execute("COMMIT")
+
+    # --- Shared data: any processing node sees everything -------------------
+    other = db.session()  # a brand-new database instance, zero setup cost
+    row = other.query("SELECT stock FROM products WHERE sku = 1")[0]
+    print(f"  stock seen from a second processing node: {row['stock']}")
+
+    # --- Conflicts: first committer wins (snapshot isolation) ---------------
+    print("\nTwo sessions updating the same row concurrently:")
+    a, b = db.session(), db.session()
+    a.execute("BEGIN")
+    b.execute("BEGIN")
+    a.execute("UPDATE products SET price = 259 WHERE sku = 1")
+    b.execute("UPDATE products SET price = 239 WHERE sku = 1")
+    a.execute("COMMIT")
+    try:
+        b.execute("COMMIT")
+    except TransactionAborted as aborted:
+        print(f"  second committer aborted as expected: {aborted}")
+    price = session.query("SELECT price FROM products WHERE sku = 1")[0]
+    print(f"  final price: {price['price']}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,18 @@
+"""repro: a shared-data distributed database (Tell, SIGMOD 2015).
+
+A reproduction of Loesing, Pilman, Etter, Kossmann: *On the Design and
+Scalability of Distributed Shared-Data Databases*, SIGMOD 2015.
+
+Entry points:
+
+* :class:`repro.api.Database` -- the embedded database (SQL sessions,
+  transactions, elasticity, recovery);
+* :class:`repro.bench.simcluster.SimulatedTell` -- a full simulated
+  deployment running TPC-C under network/CPU timing;
+* ``python -m repro.bench`` -- regenerate the paper's tables and figures.
+
+See README.md for the architecture overview and DESIGN.md for the
+system inventory and per-experiment index.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,23 @@
+"""Embedded database API: the easiest way to use the library.
+
+:class:`repro.api.database.Database` assembles a storage cluster, commit
+manager, and processing node(s) in one process and drives all protocol
+coroutines with the direct runner (zero simulated latency).  It is the
+entry point for the examples and for applications that want Tell's
+semantics without the simulation harness.
+"""
+
+from repro.api.runner import DirectRunner, Router
+
+
+def __getattr__(name):
+    # Imported lazily: Database pulls in the SQL layer, which not every
+    # user of the runner needs.
+    if name == "Database":
+        from repro.api.database import Database
+
+        return Database
+    raise AttributeError(name)
+
+
+__all__ = ["Database", "DirectRunner", "Router"]

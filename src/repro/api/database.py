@@ -1,0 +1,196 @@
+"""The embedded database: a full Tell deployment in one process.
+
+``Database`` wires the storage cluster, commit manager(s), management
+node, and any number of processing nodes, and hands out SQL sessions.
+Everything runs through the same protocol coroutines the distributed
+simulation uses -- only the driver differs (direct, zero-latency).
+
+Example::
+
+    from repro.api import Database
+
+    db = Database(storage_nodes=3, replication_factor=2)
+    session = db.session()
+    session.execute("CREATE TABLE t (id INT PRIMARY KEY, v TEXT)")
+    session.execute("INSERT INTO t VALUES (1, 'hello')")
+    print(session.query("SELECT v FROM t WHERE id = 1"))
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.api.runner import DirectRunner, Router
+from repro.core.buffers import make_strategy
+from repro.core.commit_manager import CommitManager
+from repro.core.processing_node import ProcessingNode
+from repro.core.recovery import recover_processing_node
+from repro.core.txlog import TransactionLog
+from repro.errors import InvalidState
+from repro.sql.session import Session
+from repro.sql.table import IndexManager
+from repro.store.cluster import StorageCluster
+from repro.store.management import ManagementNode
+
+
+class Database:
+    """An embedded shared-data database."""
+
+    def __init__(
+        self,
+        storage_nodes: int = 3,
+        replication_factor: int = 1,
+        commit_managers: int = 1,
+        buffering: str = "tb",
+        tid_range_size: int = 256,
+        interleaved_tids: bool = False,
+        partitions_per_node: int = 8,
+    ):
+        if commit_managers < 1:
+            raise InvalidState("need at least one commit manager")
+        self.cluster = StorageCluster(
+            n_nodes=storage_nodes,
+            replication_factor=replication_factor,
+            partitions_per_node=partitions_per_node,
+        )
+        self.management = ManagementNode(self.cluster)
+        self.commit_managers: List[CommitManager] = [
+            CommitManager(
+                cm_id, self.cluster.execute, tid_range_size,
+                interleaved=interleaved_tids, n_managers=commit_managers,
+            )
+            for cm_id in range(commit_managers)
+        ]
+        self.buffering = buffering
+        self._next_pn_id = 0
+        self.processing_nodes: Dict[int, ProcessingNode] = {}
+        self._runners: Dict[int, DirectRunner] = {}
+
+    # -- processing layer elasticity -------------------------------------------------
+
+    def add_processing_node(self) -> ProcessingNode:
+        """Attach a new PN (the shared-data architecture's cheap scaling
+        step: no data movement, just a new instance)."""
+        pn_id = self._next_pn_id
+        self._next_pn_id += 1
+        pn = ProcessingNode(pn_id, buffers=make_strategy(self.buffering))
+        commit_manager = self.commit_managers[pn_id % len(self.commit_managers)]
+        router = Router(self.cluster, commit_manager, pn_id)
+        self.processing_nodes[pn_id] = pn
+        self._runners[pn_id] = DirectRunner(router)
+        return pn
+
+    def remove_processing_node(self, pn_id: int) -> None:
+        """Detach a PN cleanly (its soft state simply disappears)."""
+        self.processing_nodes.pop(pn_id, None)
+        self._runners.pop(pn_id, None)
+
+    def crash_commit_manager(self, cm_id: int) -> CommitManager:
+        """Simulate a commit-manager failure and start a replacement.
+
+        Per Section 4.4.3 a single-manager failure blocks new transactions
+        until the in-flight ones complete (they do not need the manager to
+        finish); then a replacement starts, restoring its state from the
+        store: the shared tid counter both guarantees fresh tids and
+        bounds the completed set -- after the drain, every assigned tid
+        has finished.  With multiple managers, the peers' regular state
+        publications are merged in as well.  Processing nodes wired to
+        the failed manager switch to the replacement automatically.
+        """
+        from repro import effects
+        from repro.core.commit_manager import META_SPACE, TID_COUNTER_KEY
+        from repro.core.snapshot import SnapshotDescriptor
+
+        failed = self.commit_managers[cm_id]
+        if failed._active_base:
+            raise InvalidState(
+                "the failed manager still has active transactions; they "
+                "must complete (or be recovered) before a replacement "
+                "starts (paper Section 4.4.3)"
+            )
+        peer_ids = [m.cm_id for m in self.commit_managers if m.cm_id != cm_id]
+        replacement = CommitManager.recover(
+            cm_id, self.cluster.execute, peer_ids,
+            tid_range_size=failed.tid_range_size,
+        )
+        # After a full drain (no manager has active transactions), every
+        # tid up to the shared counter has completed, so the counter
+        # bounds the replacement's snapshot.  With live peers still
+        # running transactions this shortcut would wrongly mark their
+        # in-flight tids complete, so it only applies to a quiet cluster;
+        # otherwise the peers' publications (absorbed above) provide the
+        # recoverable state and the base catches up via syncs.
+        fully_drained = all(
+            manager is failed or not manager._active_base
+            for manager in self.commit_managers
+        )
+        if fully_drained:
+            counter, _version = self.cluster.execute(
+                effects.Get(META_SPACE, TID_COUNTER_KEY)
+            )
+            if counter:
+                replacement.completed.merge_snapshot(
+                    SnapshotDescriptor(counter, 0)
+                )
+                replacement.last_assigned_tid = max(
+                    replacement.last_assigned_tid, counter
+                )
+        self.commit_managers[cm_id] = replacement
+        for runner in self._runners.values():
+            if runner.router.commit_manager is failed:
+                runner.router.commit_manager = replacement
+        return replacement
+
+    def crash_processing_node(self, pn_id: int) -> List[int]:
+        """Simulate a PN crash and run the recovery process.
+
+        Returns the tids that were rolled back.
+        """
+        self.remove_processing_node(pn_id)
+        runner = self._any_runner()
+        return runner.run(
+            recover_processing_node(pn_id, self.commit_managers, TransactionLog())
+        )
+
+    # -- sessions ------------------------------------------------------------------------
+
+    def session(self, pn_id: Optional[int] = None) -> Session:
+        """Open a SQL session (creating a PN when none specified exists)."""
+        if pn_id is None:
+            pn = self.add_processing_node()
+            pn_id = pn.pn_id
+        pn = self.processing_nodes[pn_id]
+        return Session(pn, self._runners[pn_id], IndexManager())
+
+    # -- maintenance ----------------------------------------------------------------------
+
+    def sync_commit_managers(self) -> None:
+        """Synchronize all commit managers to a converged view.
+
+        In the simulated deployment a background task runs one sync round
+        per manager every ~1 ms and views converge over rounds; this
+        embedded-mode convenience runs two passes so that a publication
+        made after an earlier manager's absorb step still propagates.
+        """
+        peer_ids = [manager.cm_id for manager in self.commit_managers]
+        for _pass in range(2):
+            for manager in self.commit_managers:
+                manager.sync(peer_ids)
+
+    def lowest_active_version(self) -> int:
+        return min(
+            manager.lowest_active_version() for manager in self.commit_managers
+        )
+
+    def _any_runner(self) -> DirectRunner:
+        if self._runners:
+            return next(iter(self._runners.values()))
+        pn = self.add_processing_node()
+        return self._runners[pn.pn_id]
+
+    def __repr__(self) -> str:
+        return (
+            f"<Database SNs={len(self.cluster.nodes)} "
+            f"PNs={len(self.processing_nodes)} "
+            f"CMs={len(self.commit_managers)}>"
+        )

@@ -1,0 +1,11 @@
+"""Benchmark harness: simulated deployments, metrics, experiment configs.
+
+This package regenerates the paper's evaluation (Section 6): every figure
+and table has a corresponding experiment function here and a bench file
+under ``benchmarks/``.
+"""
+
+from repro.bench.config import TellConfig
+from repro.bench.metrics import LatencyStats, TxnMetrics
+
+__all__ = ["LatencyStats", "TellConfig", "TxnMetrics"]

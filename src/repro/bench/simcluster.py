@@ -1,0 +1,584 @@
+"""The simulated Tell deployment: real protocol code, simulated time.
+
+This module is the bridge between the library and the discrete-event
+kernel.  Every processing-node worker is a simulated "thread" running the
+*actual* transaction code (:mod:`repro.core`); the fabric decides when
+each storage or commit-manager request completes, charging:
+
+* wire latency and bandwidth (per the configured network profile),
+* per-message CPU on both endpoints (the kernel-TCP tax on Ethernet),
+* storage-node service time through a multi-core FIFO pool -- including
+  the synchronous-replication wait, which occupies the master's worker
+  and is what makes RF3 expensive under write-heavy load (Figure 5),
+* processing-node CPU for query processing (Compute effects).
+
+State mutations execute via ``Simulator.call_at`` at the exact simulated
+instant the storage node services them, so LL/SC conflicts arise from
+genuine request interleavings.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from typing import Any, Dict, Generator, List, Optional, Tuple
+
+from repro import effects
+from repro.bench.config import TellConfig
+from repro.bench.metrics import TxnMetrics
+from repro.core.buffers import make_strategy
+from repro.core.commit_manager import CommitManager
+from repro.core.processing_node import ProcessingNode
+from repro.errors import TellError, TransactionAborted
+from repro.net.profiles import NetworkProfile, profile_by_name
+from repro.sim.kernel import Delay, Simulator
+from repro.sql.table import IndexManager
+from repro.store.cluster import StorageCluster
+from repro.workloads.loader import BulkLoader
+from repro.workloads.tpcc.mixes import MIXES
+from repro.workloads.tpcc.params import ParamGenerator
+from repro.workloads.tpcc.population import populate
+from repro.workloads.tpcc.schema import build_tpcc_catalog
+from repro.workloads.tpcc.transactions import (
+    TRANSACTIONS,
+    TpccContext,
+    TpccRollback,
+)
+
+#: Response-size estimates by request kind (bytes); used for wire time.
+READ_RESPONSE_BYTES = 280
+WRITE_RESPONSE_BYTES = 24
+CM_MESSAGE_BYTES = 96
+SN_SERVICE_CM_US = 0.6
+#: Backup write amplification: a replica put appends to the backup's log
+#: and buffers it for persistent storage, costing more than the master's
+#: in-memory update.
+REPL_WRITE_AMP = 2.0
+REPL_FIXED_US = 5.0
+
+
+class CorePool:
+    """A multi-server FIFO of CPU cores (reserve = find earliest core)."""
+
+    __slots__ = ("_free",)
+
+    def __init__(self, cores: int):
+        self._free = [0.0] * cores
+        heapq.heapify(self._free)
+
+    def earliest(self, at: float) -> float:
+        return max(at, self._free[0])
+
+    def reserve(self, at: float, duration: float) -> Tuple[float, float]:
+        start = max(at, heapq.heappop(self._free))
+        end = start + duration
+        heapq.heappush(self._free, end)
+        return start, end
+
+
+class FabricStats:
+    __slots__ = ("messages", "store_ops", "bytes_sent")
+
+    def __init__(self) -> None:
+        self.messages = 0
+        self.store_ops = 0
+        self.bytes_sent = 0
+
+
+class _Slot:
+    """Result carrier between a call_at callback and the waiting driver."""
+
+    __slots__ = ("value", "error")
+
+    def __init__(self) -> None:
+        self.value = None
+        self.error: Optional[BaseException] = None
+
+
+class SimFabric:
+    """Times and applies requests for all processing nodes."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        cluster: StorageCluster,
+        commit_managers: List[CommitManager],
+        config: TellConfig,
+    ):
+        self.sim = sim
+        self.cluster = cluster
+        self.commit_managers = commit_managers
+        self.config = config
+        self.profile: NetworkProfile = profile_by_name(config.network)
+        self.sn_pools = {
+            node_id: CorePool(config.sn_cores) for node_id in cluster.nodes
+        }
+        self.cm_pools = [CorePool(2) for _ in commit_managers]
+        self.stats = FabricStats()
+
+    # -- top-level dispatch ------------------------------------------------------
+
+    def perform(self, pn_pool: CorePool, cm_index: int,
+                request: effects.Request, pn_id: int = -1) -> Generator:
+        """Sub-generator (yields Delay/Event) resolving one request."""
+        if isinstance(request, effects.Compute):
+            _start, end = pn_pool.reserve(self.sim.now, request.duration)
+            if end > self.sim.now:
+                yield Delay(end - self.sim.now)
+            return None
+        if isinstance(request, effects.Sleep):
+            yield Delay(request.duration)
+            return None
+        if isinstance(request, effects.Batch):
+            if self.config.batching:
+                return (yield from self._perform_batch(pn_pool, request.ops))
+            results = []
+            for op in request.ops:  # no batching: one round trip each
+                single = yield from self._perform_batch(pn_pool, [op])
+                results.append(single[0])
+            return results
+        if isinstance(request, effects.Scan):
+            return (yield from self._perform_scan(pn_pool, request))
+        if isinstance(request, effects.StoreRequest):
+            results = yield from self._perform_batch(pn_pool, [request])
+            return results[0]
+        if isinstance(request, effects.CommitManagerRequest):
+            return (yield from self._perform_cm(pn_pool, cm_index, request, pn_id))
+        raise TypeError(f"fabric cannot perform {request!r}")
+
+    # -- storage messages ------------------------------------------------------------
+
+    def _perform_batch(
+        self, pn_pool: CorePool, ops: List[effects.StoreRequest]
+    ) -> Generator:
+        """Send ops grouped per target storage node; one message each."""
+        groups: Dict[int, List[Tuple[int, effects.StoreRequest, int]]] = {}
+        for position, op in enumerate(ops):
+            routing = self.cluster.routing(op)
+            groups.setdefault(routing.node_id, []).append(
+                (position, op, routing.partition_id)
+            )
+        now = self.sim.now
+        # Send-side CPU: one charge per outgoing message.
+        t_send = now
+        if self.profile.client_cpu_per_msg_us > 0:
+            for _ in groups:
+                _s, t_send = pn_pool.reserve(
+                    t_send, self.profile.client_cpu_per_msg_us
+                )
+        slots = []
+        t_done = t_send
+        for node_id, members in groups.items():
+            slot, t_response = self._send_group(t_send, node_id, members)
+            slots.append((slot, members))
+            t_done = max(t_done, t_response)
+        # Receive-side CPU, one charge per response message.
+        if self.profile.client_cpu_per_msg_us > 0:
+            for _ in groups:
+                _s, t_done = pn_pool.reserve(
+                    t_done, self.profile.client_cpu_per_msg_us
+                )
+        if t_done > now:
+            yield Delay(t_done - now)
+        results: List[Any] = [None] * len(ops)
+        error: Optional[BaseException] = None
+        for slot, members in slots:
+            if slot.error is not None:
+                error = slot.error
+                continue
+            for (position, _op, _pid), value in zip(members, slot.value):
+                results[position] = value
+        if error is not None:
+            raise error
+        return results
+
+    def _send_group(
+        self,
+        now: float,
+        node_id: int,
+        members: List[Tuple[int, effects.StoreRequest, int]],
+    ) -> Tuple[_Slot, float]:
+        """Schedule one request message; returns (slot, t_response)."""
+        profile = self.profile
+        config = self.config
+        request_bytes = sum(
+            self.cluster.request_size(op) for _pos, op, _pid in members
+        )
+        self.stats.messages += 1
+        self.stats.store_ops += len(members)
+        self.stats.bytes_sent += request_bytes
+
+        t_arrive = now + profile.one_way(request_bytes)
+        node = self.cluster.nodes[node_id]
+        pool = self.sn_pools[node_id]
+        service = profile.server_cpu_per_msg_us
+        writes: List[Tuple[effects.StoreRequest, int]] = []
+        response_bytes = 16
+        for _pos, op, pid in members:
+            if isinstance(op, (effects.Get,)):
+                service += node.service_us_read
+                response_bytes += READ_RESPONSE_BYTES
+            else:
+                service += node.service_us_write
+                response_bytes += WRITE_RESPONSE_BYTES
+                if isinstance(
+                    op,
+                    (effects.Put, effects.PutIfVersion, effects.Delete,
+                     effects.DeleteIfVersion, effects.Increment),
+                ):
+                    writes.append((op, pid))
+
+        start = pool.earliest(t_arrive)
+        # Synchronous replication: the master worker is held until every
+        # backup acknowledged (RAMCloud-style), so the wait extends the
+        # reservation -- this is what throttles write capacity and
+        # inflates commit latency under RF3 (Figure 5).  A backup write
+        # is costlier than a master write (log append + buffer flush:
+        # the ``REPL_WRITE_AMP`` factor plus a fixed per-put cost), and a
+        # master pipelines its group's puts one at a time.
+        repl_extra = 0.0
+        if writes and self.cluster.replication_factor > 1:
+            backup_targets: Dict[int, int] = {}
+            for op, pid in writes:
+                for backup_id in self.cluster.partition_map.backups_of(pid):
+                    backup_targets[backup_id] = backup_targets.get(backup_id, 0) + 1
+            sent = start + service
+            for backup_id, write_count in backup_targets.items():
+                backup_node = self.cluster.nodes[backup_id]
+                backup_pool = self.sn_pools[backup_id]
+                b_arrive = sent + profile.one_way(64)
+                backup_service = write_count * (
+                    backup_node.service_us_write * REPL_WRITE_AMP
+                    + REPL_FIXED_US
+                )
+                _bs, b_end = backup_pool.reserve(b_arrive, backup_service)
+                repl_extra += max(0.0, b_end + profile.one_way(32) - sent)
+        _s, t_service_end = pool.reserve(t_arrive, service + repl_extra)
+
+        slot = _Slot()
+        cluster = self.cluster
+
+        def apply() -> None:
+            try:
+                values = []
+                for _pos, op, pid in members:
+                    value, _size = cluster.apply(op, pid, node_id)
+                    values.append(value)
+                for op, pid in writes:
+                    cluster.replicate(op, pid)
+                slot.value = values
+            except TellError as exc:
+                slot.error = exc
+
+        self.sim.call_at(t_service_end, apply)
+        t_response = t_service_end + profile.one_way(response_bytes)
+        return slot, t_response
+
+    def _perform_scan(self, pn_pool: CorePool, op: effects.Scan) -> Generator:
+        """Fan a scan out to every master; wait for the slowest slice."""
+        profile = self.profile
+        now = self.sim.now
+        slices: Dict[int, List[int]] = {}
+        for pid, node_id in self.cluster.scan_routing(op):
+            slices.setdefault(node_id, []).append(pid)
+        slot = _Slot()
+        t_done = now
+        for node_id, pids in slices.items():
+            node = self.cluster.nodes[node_id]
+            pool = self.sn_pools[node_id]
+            t_arrive = now + profile.one_way(64)
+            # Scans are served by a dedicated thread; cost grows with the
+            # partition's population (approximated per stored cell).
+            cells = sum(
+                sum(len(s) for s in node.partitions[pid].spaces.values())
+                for pid in pids
+                if pid in node.partitions
+            )
+            service = profile.server_cpu_per_msg_us + 0.05 * max(cells, 1)
+            _s, t_end = pool.reserve(t_arrive, service)
+            t_done = max(t_done, t_end)
+            self.stats.messages += 1
+
+        event = self.sim.event()
+
+        def run_scan() -> None:
+            from repro.store.cell import approx_size
+
+            try:
+                slot.value = self.cluster.execute_scan(op)
+                response_bytes = 64 + sum(
+                    16 + approx_size(value) for _k, value, _v in slot.value
+                )
+            except TellError as exc:
+                slot.error = exc
+                response_bytes = 64
+            # The response wire time depends on how much the scan ships:
+            # storage-side push-down (Section 5.2) earns its keep here.
+            self.stats.bytes_sent += response_bytes
+            self.sim.call_at(
+                self.sim.now + profile.one_way(response_bytes),
+                lambda: event.trigger(None),
+            )
+
+        self.sim.call_at(t_done, run_scan)
+        yield event
+        if slot.error is not None:
+            raise slot.error
+        return slot.value
+
+    # -- commit manager messages -----------------------------------------------------
+
+    def _perform_cm(
+        self, pn_pool: CorePool, cm_index: int,
+        request: effects.CommitManagerRequest, pn_id: int = -1,
+    ) -> Generator:
+        """One round trip to the processing node's commit manager.
+
+        Manager state executes at issue time (its operations are
+        microsecond-cheap and commute across the tiny reordering window);
+        the latency charged is arrival + queueing + response, plus one
+        storage round trip whenever serving a start required refilling the
+        manager's tid range from the shared counter.
+        """
+        profile = self.profile
+        manager = self.commit_managers[cm_index]
+        pool = self.cm_pools[cm_index]
+        now = self.sim.now
+        self.stats.messages += 1
+        if isinstance(request, effects.StartTransaction):
+            result: Any = manager.start(pn_id)
+        elif isinstance(request, effects.ReportCommitted):
+            manager.set_committed(request.tid)
+            result = None
+        elif isinstance(request, effects.ReportAborted):
+            manager.set_aborted(request.tid)
+            result = None
+        else:
+            raise TypeError(f"unknown CM request {request!r}")
+        t_arrive = now + profile.one_way(CM_MESSAGE_BYTES)
+        _s, t_end = pool.reserve(
+            t_arrive, SN_SERVICE_CM_US + profile.server_cpu_per_msg_us
+        )
+        t_response = t_end + profile.one_way(CM_MESSAGE_BYTES)
+        if getattr(result, "range_refilled", False):
+            t_response += profile.round_trip() + 2.0
+        yield Delay(t_response - now)
+        return result
+
+
+class SimulatedTell:
+    """A complete simulated deployment running TPC-C."""
+
+    def __init__(self, config: TellConfig):
+        self.config = config
+        self.sim = Simulator()
+        self.cluster = StorageCluster(
+            n_nodes=config.storage_nodes,
+            replication_factor=config.replication_factor,
+            partitions_per_node=config.partitions_per_node,
+        )
+        self.commit_managers = [
+            CommitManager(
+                cm_id, self.cluster.execute, config.tid_range_size,
+                interleaved=config.interleaved_tids,
+                n_managers=config.commit_managers,
+            )
+            for cm_id in range(config.commit_managers)
+        ]
+        self.fabric = SimFabric(
+            self.sim, self.cluster, self.commit_managers, config
+        )
+        self.catalog = build_tpcc_catalog()
+        self.metrics = TxnMetrics()
+        self._pn_handles: List[Tuple[ProcessingNode, CorePool, int, IndexManager]] = []
+        self._populated = False
+
+    # -- setup (direct, untimed) --------------------------------------------------------
+
+    def load(self) -> Dict[str, int]:
+        """Populate the database (setup step, not simulated time)."""
+        loader_indexes = IndexManager()
+        loader = BulkLoader(self.catalog, loader_indexes)
+        counts = effects.run_direct(
+            populate(self.catalog, loader, self.config.scale,
+                     seed=self.config.seed),
+            _ClusterOnlyRouter(self.cluster),
+        )
+        self._populated = True
+        return counts
+
+    def _make_pn(self, pn_id: int) -> Tuple[ProcessingNode, CorePool, int, IndexManager]:
+        pn = ProcessingNode(
+            pn_id,
+            buffers=make_strategy(self.config.buffering),
+            clock=lambda: self.sim.now,
+        )
+        pool = CorePool(self.config.pn_cores)
+        cm_index = pn_id % len(self.commit_managers)
+        return pn, pool, cm_index, IndexManager()
+
+    # -- the simulated workload --------------------------------------------------------
+
+    def run(self) -> TxnMetrics:
+        if not self._populated:
+            self.load()
+        config = self.config
+        end_time = config.duration_us
+        warmup_end = min(config.warmup_us, end_time)
+        mix = MIXES[config.mix]
+
+        for pn_id in range(config.processing_nodes):
+            handle = self._make_pn(pn_id)
+            self._pn_handles.append(handle)
+            for thread in range(config.threads_per_pn):
+                seed = (config.seed * 10_007 + pn_id * 131 + thread) & 0x7FFFFFFF
+                self.sim.spawn(
+                    self._terminal(handle, mix, seed, warmup_end, end_time),
+                    name=f"pn{pn_id}-t{thread}",
+                )
+        if len(self.commit_managers) > 1:
+            for manager in self.commit_managers:
+                self.sim.spawn(
+                    self._cm_sync_loop(manager), name=f"cm{manager.cm_id}-sync"
+                )
+        self.sim.run(until=end_time)
+        self.metrics.measured_time_us = end_time - warmup_end
+        return self.metrics
+
+    def _terminal(
+        self,
+        handle: Tuple[ProcessingNode, CorePool, int, IndexManager],
+        mix,  # noqa: ANN001
+        seed: int,
+        warmup_end: float,
+        end_time: float,
+    ) -> Generator:
+        pn, pool, cm_index, indexes = handle
+        config = self.config
+        rng = random.Random(seed)
+        param_gen = ParamGenerator(
+            config.scale, seed=seed ^ 0x5DEECE66D,
+            remote_accesses=mix.remote_accesses,
+        )
+        while self.sim.now < end_time:
+            txn_name = mix.pick(rng)
+            params = getattr(param_gen, txn_name)()
+            started = self.sim.now
+            outcome = yield from self._drive(
+                pool, cm_index,
+                self._transaction_script(pn, indexes, txn_name, params),
+                pn_id=pn.pn_id,
+            )
+            if started >= warmup_end:
+                self.metrics.record(txn_name, outcome, self.sim.now - started)
+
+    def _transaction_script(
+        self, pn: ProcessingNode, indexes: IndexManager,
+        txn_name: str, params,  # noqa: ANN001
+    ) -> Generator:
+        config = self.config
+        try:
+            txn = yield from pn.begin()
+        except TellError:
+            return "conflict"
+        context = TpccContext(
+            self.catalog, txn, indexes, cpu_per_row_us=config.cpu_per_row_us
+        )
+        context.districts_per_warehouse = config.scale.districts_per_warehouse
+        if config.txn_overhead_us > 0:
+            yield effects.Compute(config.txn_overhead_us)
+        try:
+            yield from TRANSACTIONS[txn_name](context, params)
+        except TpccRollback:
+            yield from txn.abort()
+            return "user_abort"
+        except TransactionAborted:
+            return "conflict"
+        except TellError:
+            # e.g. KeyNotFound under races: treat as an abort
+            yield from txn.abort()
+            return "conflict"
+        try:
+            yield from txn.commit()
+        except TransactionAborted:
+            return "conflict"
+        return "committed"
+
+    def _drive(self, pool: CorePool, cm_index: int, gen,
+               pn_id: int = -1) -> Generator:  # noqa: ANN001
+        """Run a protocol coroutine under the fabric (a sim process body)."""
+        send_value: Any = None
+        throw_exc: Optional[BaseException] = None
+        while True:
+            try:
+                if throw_exc is not None:
+                    request = gen.throw(throw_exc)
+                    throw_exc = None
+                else:
+                    request = gen.send(send_value)
+            except StopIteration as stop:
+                return stop.value
+            try:
+                send_value = yield from self.fabric.perform(
+                    pool, cm_index, request, pn_id
+                )
+            except TellError as exc:
+                send_value = None
+                throw_exc = exc
+
+    def quiesce(self) -> int:
+        """Roll back every transaction still in flight after the run.
+
+        Stopping the simulation mid-air leaves workers exactly like
+        crashed processing nodes; the paper's recovery procedure
+        (Section 4.4.1) brings the store back to a transaction-consistent
+        state.  Returns the number of transactions rolled back.
+        """
+        from repro.core.recovery import recover_processing_node
+        from repro.core.txlog import TransactionLog
+
+        router = _ClusterOnlyRouter(self.cluster)
+        rolled_back = 0
+        pn_ids = {pn.pn_id for pn, _pool, _cm, _idx in self._pn_handles}
+        for pn_id in sorted(pn_ids):
+            rolled_back += len(
+                effects.run_direct(
+                    recover_processing_node(
+                        pn_id, self.commit_managers, TransactionLog()
+                    ),
+                    router,
+                )
+            )
+        return rolled_back
+
+    def _cm_sync_loop(self, manager: CommitManager) -> Generator:
+        """Background snapshot synchronization between commit managers."""
+        peer_ids = [m.cm_id for m in self.commit_managers]
+        interval = self.config.cm_sync_interval_us
+        while True:
+            yield Delay(interval)
+            # State-wise the sync runs through the store directly; its
+            # timing cost (a handful of microseconds of CM time per
+            # interval) is negligible compared to the interval itself.
+            manager.sync(peer_ids)
+
+
+class _ClusterOnlyRouter:
+    """Direct router for setup-time loading (no commit manager needed)."""
+
+    def __init__(self, cluster: StorageCluster):
+        self.cluster = cluster
+
+    def execute(self, request: effects.Request) -> Any:
+        if isinstance(request, (effects.StoreRequest, effects.Batch)):
+            return self.cluster.execute(request)
+        if isinstance(request, (effects.Compute, effects.Sleep)):
+            return None
+        raise TypeError(f"unroutable setup request: {request!r}")
+
+
+def run_tell_experiment(config: TellConfig) -> TxnMetrics:
+    """Convenience: build, load, run, return metrics."""
+    deployment = SimulatedTell(config)
+    deployment.load()
+    return deployment.run()

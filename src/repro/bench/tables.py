@@ -1,0 +1,64 @@
+"""Paper-style ASCII tables for benchmark output."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    title: Optional[str] = None,
+) -> str:
+    """Render an aligned ASCII table."""
+    cells = [[_format(value) for value in row] for row in rows]
+    widths = [
+        max(len(header), *(len(row[i]) for row in cells)) if cells else len(header)
+        for i, header in enumerate(headers)
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _format(value: Any) -> str:
+    if isinstance(value, float):
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        return f"{value:,.2f}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+def print_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    title: Optional[str] = None,
+) -> None:
+    print()
+    print(format_table(headers, rows, title))
+    print()
+
+
+#: Table 1 of the paper: design-principle comparison (static content).
+TABLE1_HEADERS = [
+    "System", "Shared Data", "Decoupling", "In-Memory",
+    "ACID Txns", "Complex Queries",
+]
+TABLE1_ROWS = [
+    ("Tell (this reproduction)", "yes", "yes", "yes", "yes", "yes"),
+    ("Oracle RAC", "yes", "no", "no", "yes", "yes"),
+    ("FoundationDB", "yes", "yes", "yes", "yes", "yes"),
+    ("Google F1", "yes", "yes", "no", "yes", "yes"),
+    ("OMID", "yes", "yes", "no", "yes", "no"),
+    ("Hyder", "yes", "yes", "no", "yes", "(partial)"),
+    ("VoltDB", "no", "no", "yes", "yes", "yes"),
+    ("Azure SQL Database", "no", "no", "no", "yes", "yes"),
+    ("Google BigTable", "no", "yes", "no", "no", "no"),
+]

@@ -1,0 +1,43 @@
+"""Tell core: distributed snapshot isolation over a shared record store.
+
+This package implements the paper's primary contribution (Sections 4-5):
+
+* :mod:`repro.core.snapshot` -- snapshot descriptors (base version +
+  committed-tid bitset) and their algebra;
+* :mod:`repro.core.commit_manager` -- the lightweight service that hands
+  out tids, snapshot descriptors, and the lowest active version, including
+  multi-commit-manager operation synchronized through the store;
+* :mod:`repro.core.record` -- multi-version records mapped to single
+  key-value pairs;
+* :mod:`repro.core.transaction` -- the transaction life-cycle with LL/SC
+  conflict detection at commit;
+* :mod:`repro.core.txlog` -- the shared transaction log;
+* :mod:`repro.core.buffers` -- the three buffering strategies of
+  Section 5.5;
+* :mod:`repro.core.processing_node` -- the PN tying all of it together;
+* :mod:`repro.core.recovery` -- roll-back of transactions left behind by a
+  crashed processing node;
+* :mod:`repro.core.gc` -- eager and lazy garbage collection of versions.
+"""
+
+from repro.core.snapshot import CommittedSet, SnapshotDescriptor, TxnStart
+from repro.core.record import TOMBSTONE, Version, VersionedRecord
+from repro.core.commit_manager import CommitManager
+from repro.core.transaction import Transaction, TxnState
+from repro.core.processing_node import ProcessingNode
+from repro.core.txlog import LogEntry, TransactionLog
+
+__all__ = [
+    "CommitManager",
+    "CommittedSet",
+    "LogEntry",
+    "ProcessingNode",
+    "SnapshotDescriptor",
+    "TOMBSTONE",
+    "Transaction",
+    "TransactionLog",
+    "TxnStart",
+    "TxnState",
+    "Version",
+    "VersionedRecord",
+]

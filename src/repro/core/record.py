@@ -1,0 +1,156 @@
+"""Multi-version records stored as single key-value pairs (Section 5.1).
+
+Every relational row is one key-value pair: the key is the record id
+(rid), the value a serialized set of all versions of the record.  One read
+fetches every version; one conditional write applies an update *and*
+detects conflicts.  This is the paper's central storage-granularity
+decision ("minimize network requests over network traffic").
+
+Records are immutable: transactions build new record values and install
+them with LL/SC, so a record object can safely live in shared buffers and
+in the store at the same time.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Tuple
+
+from repro.core.snapshot import SnapshotDescriptor
+from repro.errors import InvalidState
+from repro.store.cell import approx_size
+
+
+class _Tombstone:
+    """Sentinel payload marking a deleted version."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "TOMBSTONE"
+
+
+TOMBSTONE = _Tombstone()
+
+
+class Version:
+    """One version of a record: the creating tid and the row payload.
+
+    ``payload`` is a tuple of column values, or :data:`TOMBSTONE` when the
+    version represents a deletion.
+    """
+
+    __slots__ = ("tid", "payload", "_size")
+
+    def __init__(self, tid: int, payload):
+        self.tid = tid
+        self.payload = payload
+        self._size = -1
+
+    @property
+    def is_tombstone(self) -> bool:
+        return self.payload is TOMBSTONE
+
+    def approx_size(self) -> int:
+        # Memoized: versions are immutable and sized on every store write.
+        if self._size < 0:
+            self._size = 8 + (
+                1 if self.is_tombstone else approx_size(self.payload)
+            )
+        return self._size
+
+    def __repr__(self) -> str:
+        return f"Version(v{self.tid}, {self.payload!r})"
+
+
+class VersionedRecord:
+    """An immutable set of versions, newest first."""
+
+    __slots__ = ("versions", "_size")
+
+    def __init__(self, versions: Iterable[Version]):
+        ordered = sorted(versions, key=lambda version: version.tid, reverse=True)
+        self.versions = tuple(ordered)
+        self._size = -1
+
+    @classmethod
+    def initial(cls, tid: int, payload) -> "VersionedRecord":
+        return cls((Version(tid, payload),))
+
+    # -- reads -----------------------------------------------------------------
+
+    def version_numbers(self) -> Tuple[int, ...]:
+        return tuple(version.tid for version in self.versions)
+
+    def latest_visible(self, snapshot: SnapshotDescriptor) -> Optional[Version]:
+        """The version the snapshot reads: max visible tid (Section 4.2).
+
+        Returns ``None`` when no version is visible; a visible tombstone is
+        returned as-is (callers treat it as "record deleted").
+        """
+        for version in self.versions:  # newest first
+            if snapshot.contains(version.tid):
+                return version
+        return None
+
+    def get(self, tid: int) -> Optional[Version]:
+        for version in self.versions:
+            if version.tid == tid:
+                return version
+        return None
+
+    @property
+    def newest_tid(self) -> int:
+        return self.versions[0].tid if self.versions else 0
+
+    # -- writes (all return new records) -------------------------------------------
+
+    def with_version(self, version: Version) -> "VersionedRecord":
+        if self.get(version.tid) is not None:
+            raise InvalidState(f"record already has version {version.tid}")
+        return VersionedRecord(self.versions + (version,))
+
+    def without_version(self, tid: int) -> "VersionedRecord":
+        remaining = tuple(v for v in self.versions if v.tid != tid)
+        return VersionedRecord(remaining)
+
+    # -- garbage collection (Section 5.4) --------------------------------------------
+
+    def collectable_versions(self, lav: int) -> List[int]:
+        """G = { x ∈ C | x != max(C) } with C = { x ∈ V | x <= lav }.
+
+        The newest globally-visible version always survives so at least
+        one version of the record remains.
+        """
+        candidates = [v.tid for v in self.versions if v.tid <= lav]
+        if len(candidates) <= 1:
+            return []
+        newest = max(candidates)
+        return [tid for tid in candidates if tid != newest]
+
+    def collect_garbage(self, lav: int) -> "VersionedRecord":
+        """Drop every version in G; may return ``self`` unchanged."""
+        garbage = set(self.collectable_versions(lav))
+        if not garbage:
+            return self
+        return VersionedRecord(
+            tuple(v for v in self.versions if v.tid not in garbage)
+        )
+
+    def fully_deleted(self, lav: int) -> bool:
+        """True when the record is just a tombstone no snapshot older than
+        ``lav`` can resurrect -- the cell itself may then be removed."""
+        live = self.collect_garbage(lav)
+        return all(v.is_tombstone for v in live.versions)
+
+    # -- sizing -----------------------------------------------------------------
+
+    def approx_size(self) -> int:
+        if self._size < 0:
+            self._size = 8 + sum(v.approx_size() for v in self.versions)
+        return self._size
+
+    def __len__(self) -> int:
+        return len(self.versions)
+
+    def __repr__(self) -> str:
+        return f"VersionedRecord({list(self.versions)!r})"

@@ -1,0 +1,39 @@
+"""Names of the storage spaces Tell uses and key constructors.
+
+The storage system is a flat record manager; Tell layers its artifacts
+into namespaces ("spaces"):
+
+* ``data``  -- one cell per relational record, key ``(table_id, rid)``;
+* ``index`` -- B+tree nodes, key ``(index_id, node_id)``;
+* ``txlog`` -- transaction log entries, key ``tid``;
+* ``meta``  -- counters (tid, rid), commit-manager state, the catalog;
+* ``vset``  -- version-number-set cells for the SBVS buffering strategy,
+  key ``(table_id, cache_unit)``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Tuple
+
+DATA_SPACE = "data"
+INDEX_SPACE = "index"
+LOG_SPACE = "txlog"
+META_SPACE = "meta"
+VSET_SPACE = "vset"
+
+CATALOG_KEY = ("catalog",)
+
+
+def data_key(table_id: int, rid: int) -> Tuple[int, int]:
+    """Storage key of a record."""
+    return (table_id, rid)
+
+
+def rid_counter_key(table_id: int) -> Tuple[str, Tuple[str, int]]:
+    """Meta-space key of a table's rid allocation counter."""
+    return ("counter", ("rid", table_id))
+
+
+def vset_key(table_id: int, rid: int, unit_size: int) -> Tuple[int, int]:
+    """Cache-unit key for SBVS buffering: sequential rids share a unit."""
+    return (table_id, rid // unit_size)

@@ -1,0 +1,318 @@
+"""Transactions: snapshot reads, buffered writes, LL/SC commit.
+
+Implements the life-cycle of Section 4.3:
+
+1. *Begin* -- the PN fetches (tid, snapshot, lav) from the commit manager.
+2. *Running* -- reads fetch records from the store (through the PN's
+   buffering strategy) and extract the snapshot-visible version; updates
+   are buffered on the PN.
+3. *Try-Commit* -- a log entry with the write-set is appended, then every
+   buffered update is applied with a store-conditional write.  A failed
+   LL/SC means a write-write conflict.
+4. *Commit* -- indexes are updated, the commit flag is set in the log, and
+   the commit manager is notified.  *Abort* -- applied updates are rolled
+   back, then the commit manager is notified.
+
+All store-touching methods are generator coroutines.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Dict, Generator, List, Optional, Tuple
+
+from repro import effects
+from repro.core.record import TOMBSTONE, Version, VersionedRecord
+from repro.core.snapshot import TxnStart
+from repro.core.spaces import DATA_SPACE
+from repro.core.txlog import (
+    STATUS_ABORTED,
+    STATUS_COMMITTED,
+    LogEntry,
+)
+from repro.errors import (
+    DuplicateKey,
+    InvalidState,
+    KeyNotFound,
+    TransactionAborted,
+)
+
+
+class TxnState(enum.Enum):
+    RUNNING = "running"
+    TRY_COMMIT = "try-commit"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+
+class Transaction:
+    """One transaction executing on a processing node."""
+
+    def __init__(self, pn: "ProcessingNode", start: TxnStart):  # noqa: F821
+        self.pn = pn
+        self.tid = start.tid
+        self.snapshot = start.snapshot
+        self.lav = start.lav
+        self.state = TxnState.RUNNING
+        # private transaction buffer: key -> (record-or-None, cell_version)
+        self._cache: Dict[Any, Tuple[Optional[VersionedRecord], int]] = {}
+        # buffered updates: key -> payload (TOMBSTONE for deletes)
+        self._writes: Dict[Any, Any] = {}
+        self._inserted: set = set()
+        # pending index maintenance, filled by the relational layer:
+        # ("insert"|"delete", btree, index_key, rid, unique)
+        self.index_ops: List[Tuple] = []
+        self.start_time = pn.now()
+
+    # -- reads ------------------------------------------------------------------
+
+    def read(self, key: Any) -> Generator:
+        """Read one record; returns the visible payload tuple or None."""
+        payloads = yield from self.read_many([key])
+        return payloads[key]
+
+    def read_many(self, keys: List[Any]) -> Generator:
+        """Batched read; returns ``{key: payload-or-None}``."""
+        self._require(TxnState.RUNNING)
+        result: Dict[Any, Any] = {}
+        to_fetch: List[Any] = []
+        seen = set()
+        for key in keys:
+            if key in self._writes:
+                payload = self._writes[key]
+                result[key] = None if payload is TOMBSTONE else payload
+            elif key in self._cache:
+                result[key] = self._visible_payload(key)
+            elif key not in seen:
+                seen.add(key)
+                to_fetch.append(key)
+        if to_fetch:
+            yield from self._fetch(to_fetch)
+            for key in to_fetch:
+                result[key] = self._visible_payload(key)
+        return result
+
+    def read_for_update(self, key: Any) -> Generator:
+        """SELECT FOR UPDATE: read a record and *materialize* the read as
+        a write of the unchanged payload.
+
+        Under snapshot isolation, concurrent transactions that both only
+        read an item never conflict, which permits write skew (see
+        Section 4.1: SI is not serializable).  Re-writing the read value
+        turns the read into a member of the write set, so any concurrent
+        writer -- or concurrent for-update reader -- conflicts at commit.
+        This is the classic conflict-materialization fix applications use
+        to close SI's serializability gaps selectively.
+        """
+        payload = yield from self.read(key)
+        if payload is not None and key not in self._writes:
+            self._writes[key] = payload
+        return payload
+
+    def _fetch(self, keys: List[Any]) -> Generator:
+        fetched = yield from self.pn.buffers.read_records(self.snapshot, keys)
+        for key, (record, cell_version) in fetched.items():
+            self._cache[key] = (record, cell_version)
+
+    def _visible_payload(self, key: Any) -> Optional[Any]:
+        record, _cell_version = self._cache[key]
+        if record is None:
+            return None
+        version = record.latest_visible(self.snapshot)
+        if version is None or version.is_tombstone:
+            return None
+        return version.payload
+
+    # -- writes (buffered until commit) ----------------------------------------------
+
+    def insert(self, key: Any, payload: Any) -> None:
+        """Insert a record at a fresh key (rid allocated by the PN)."""
+        self._require(TxnState.RUNNING)
+        if key in self._writes and self._writes[key] is not TOMBSTONE:
+            raise InvalidState(f"key {key!r} already written in this transaction")
+        self._writes[key] = payload
+        self._inserted.add(key)
+
+    def update(self, key: Any, payload: Any) -> Generator:
+        """Replace the visible version of ``key`` with ``payload``."""
+        self._require(TxnState.RUNNING)
+        if key in self._inserted or key in self._writes:
+            self._writes[key] = payload
+            return
+        yield from self._ensure_updatable(key)
+        self._writes[key] = payload
+
+    def delete(self, key: Any) -> Generator:
+        """Delete the record (writes a tombstone version)."""
+        self._require(TxnState.RUNNING)
+        if key in self._inserted:
+            self._inserted.discard(key)
+            del self._writes[key]
+            return
+        yield from self._ensure_updatable(key)
+        self._writes[key] = TOMBSTONE
+
+    def _ensure_updatable(self, key: Any) -> Generator:
+        if key not in self._cache:
+            yield from self._fetch([key])
+        if self._visible_payload(key) is None:
+            raise KeyNotFound(f"no visible version of {key!r} to update")
+
+    # -- commit / abort -----------------------------------------------------------
+
+    @property
+    def write_set(self) -> Tuple[Any, ...]:
+        return tuple(self._writes.keys())
+
+    def local_writes(self) -> Dict[Any, Any]:
+        """This transaction's buffered writes: key -> payload/TOMBSTONE.
+
+        Access paths (table scans, index lookups) merge these in so a
+        transaction reads its own uncommitted writes.
+        """
+        return dict(self._writes)
+
+    def commit(self) -> Generator:
+        """Run Try-Commit; raises :class:`TransactionAborted` on conflict."""
+        self._require(TxnState.RUNNING)
+        if not self._writes and not self.index_ops:
+            # Read-only fast path: nothing to apply or log.
+            self.state = TxnState.COMMITTED
+            yield effects.ReportCommitted(self.tid)
+            return
+
+        # Conflict scenario 1 of Section 4.1: the record was already read
+        # *with* a version newer than our snapshot (another transaction
+        # applied after we started but before we read).  The LL/SC would
+        # succeed -- nothing changed since the read -- so this case must
+        # be detected from the version numbers themselves.
+        for key in self._writes:
+            if key in self._inserted:
+                continue
+            record, _cell_version = self._cache[key]
+            if record is None:
+                continue
+            newest = record.newest_tid
+            if newest != self.tid and not self.snapshot.contains(newest):
+                self.state = TxnState.ABORTED
+                yield effects.ReportAborted(self.tid)
+                raise TransactionAborted(
+                    self.tid,
+                    f"write-write conflict: {key!r} has newer version {newest}",
+                )
+
+        self.state = TxnState.TRY_COMMIT
+        entry = LogEntry(self.tid, self.pn.pn_id, self.pn.now(), self.write_set)
+        yield from self.pn.txlog.append(entry)
+
+        puts, new_records = self._build_apply_ops()
+        results = yield effects.Batch(puts)
+
+        applied: List[Any] = []
+        conflict = False
+        for op, (ok, _version) in zip(puts, results):
+            if ok:
+                applied.append(op.key)
+            else:
+                conflict = True
+        if conflict:
+            yield from self._rollback_applied(applied)
+            yield from self._finish_abort(entry, "write-write conflict")
+
+        try:
+            yield from self._apply_index_ops()
+        except DuplicateKey as duplicate:
+            yield from self._rollback_applied(applied)
+            yield from self._finish_abort(entry, str(duplicate))
+
+        # Write-through to the PN's shared buffer (if any).
+        for op, (ok, cell_version) in zip(puts, results):
+            yield from self.pn.buffers.note_applied(
+                self.tid, op.key, new_records[op.key], cell_version
+            )
+
+        yield from self.pn.txlog.set_status(entry, STATUS_COMMITTED)
+        self.state = TxnState.COMMITTED
+        yield effects.ReportCommitted(self.tid)
+
+    def abort(self) -> Generator:
+        """Manual abort: nothing was applied, just notify the manager."""
+        self._require(TxnState.RUNNING)
+        self.state = TxnState.ABORTED
+        yield effects.ReportAborted(self.tid)
+
+    # -- commit internals ------------------------------------------------------------
+
+    def _build_apply_ops(self):
+        """Construct the LL/SC puts (with eager version GC, Section 5.4)."""
+        puts: List[effects.PutIfVersion] = []
+        new_records: Dict[Any, VersionedRecord] = {}
+        for key, payload in self._writes.items():
+            version = Version(self.tid, payload)
+            if key in self._inserted:
+                record = VersionedRecord.initial(self.tid, payload)
+                expected = 0
+            else:
+                base_record, expected = self._cache[key]
+                if base_record is None:
+                    # The record vanished between read and write-buffering;
+                    # treat as insert-at-version-0 (LL/SC still protects us).
+                    record = VersionedRecord.initial(self.tid, payload)
+                else:
+                    record = base_record.collect_garbage(self.lav).with_version(
+                        version
+                    )
+            puts.append(effects.PutIfVersion(DATA_SPACE, key, record, expected))
+            new_records[key] = record
+        return puts, new_records
+
+    def _apply_index_ops(self) -> Generator:
+        for action, btree, index_key, rid, unique in self.index_ops:
+            if action == "insert":
+                yield from btree.insert(index_key, rid, unique=unique)
+            elif action == "delete":
+                yield from btree.delete(index_key, rid)
+            else:
+                raise InvalidState(f"unknown index action {action!r}")
+
+    def _rollback_applied(self, applied_keys: List[Any]) -> Generator:
+        """Revert our version from every record we managed to apply.
+
+        Each removal is an LL/SC loop: concurrent writers may touch the
+        record between our read and conditional write, in which case we
+        simply retry on the fresh copy.
+        """
+        for key in applied_keys:
+            while True:
+                value, cell_version = yield effects.Get(DATA_SPACE, key)
+                if value is None or value.get(self.tid) is None:
+                    break  # already gone (e.g. our insert was GC-removed)
+                remaining = value.without_version(self.tid)
+                if len(remaining) == 0:
+                    ok, _ = yield effects.DeleteIfVersion(
+                        DATA_SPACE, key, cell_version
+                    )
+                else:
+                    ok, _ = yield effects.PutIfVersion(
+                        DATA_SPACE, key, remaining, cell_version
+                    )
+                if ok:
+                    break
+            self.pn.buffers.invalidate(key)
+
+    def _finish_abort(self, entry: LogEntry, reason: str) -> Generator:
+        yield from self.pn.txlog.set_status(entry, STATUS_ABORTED)
+        self.state = TxnState.ABORTED
+        yield effects.ReportAborted(self.tid)
+        raise TransactionAborted(self.tid, reason)
+
+    # -- helpers --------------------------------------------------------------------
+
+    def _require(self, state: TxnState) -> None:
+        if self.state is not state:
+            raise InvalidState(
+                f"transaction {self.tid} is {self.state.value}, needs {state.value}"
+            )
+
+    def __repr__(self) -> str:
+        return f"<Transaction tid={self.tid} {self.state.value}>"

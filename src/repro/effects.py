@@ -1,0 +1,234 @@
+"""Requests that protocol coroutines yield to their driver.
+
+All Tell protocol code (transactions, B+tree, commit manager clients, SQL
+executor) is written as generator coroutines that ``yield`` request objects
+and receive the corresponding results via ``send``.  Two drivers exist:
+
+* :class:`repro.api.runner.DirectRunner` resolves every request immediately
+  against in-process components -- this powers the embedded database API
+  and fast unit tests.
+* The simulation driver in :mod:`repro.bench.cluster` charges network and
+  service latency for every request, letting many workers interleave, which
+  reproduces the distributed behaviour measured in the paper.
+
+Because the same coroutines run under both drivers, the code being
+benchmarked is the library itself, not a model of it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence, Tuple
+
+
+class Request:
+    """Base class for every yieldable request."""
+
+    __slots__ = ()
+
+
+# ---------------------------------------------------------------------------
+# Storage layer requests (served by the shared record store)
+# ---------------------------------------------------------------------------
+
+
+class StoreRequest(Request):
+    """A request addressed to the shared storage system."""
+
+    __slots__ = ("space", "key")
+
+    def __init__(self, space: str, key: Any):
+        self.space = space
+        self.key = key
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.space!r}, {self.key!r})"
+
+
+class Get(StoreRequest):
+    """Read one cell.  Result: ``(value, cell_version)``; missing cells
+    return ``(None, 0)``.  The cell version is the LL token for LL/SC."""
+
+    __slots__ = ()
+
+
+class Put(StoreRequest):
+    """Unconditional write.  Result: new cell version (int)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, space: str, key: Any, value: Any):
+        super().__init__(space, key)
+        self.value = value
+
+
+class PutIfVersion(StoreRequest):
+    """Store-conditional write (the SC of LL/SC).
+
+    The write succeeds only if the cell's current version equals
+    ``expected_version`` (0 means "must not exist").  Result:
+    ``(ok, new_or_current_version)``.  Unlike compare-and-swap this is
+    immune to the ABA problem because cell versions increase on every write.
+    """
+
+    __slots__ = ("value", "expected_version")
+
+    def __init__(self, space: str, key: Any, value: Any, expected_version: int):
+        super().__init__(space, key)
+        self.value = value
+        self.expected_version = expected_version
+
+
+class Delete(StoreRequest):
+    """Remove a cell.  Result: ``True`` if it existed."""
+
+    __slots__ = ()
+
+
+class DeleteIfVersion(StoreRequest):
+    """Conditional remove.  Result: ``(ok, current_version)``."""
+
+    __slots__ = ("expected_version",)
+
+    def __init__(self, space: str, key: Any, expected_version: int):
+        super().__init__(space, key)
+        self.expected_version = expected_version
+
+
+class Increment(StoreRequest):
+    """Atomically add ``delta`` to a numeric cell (creating it at 0).
+
+    Result: the post-increment value.  Tell uses this for the global tid
+    counter and for rid allocation.
+    """
+
+    __slots__ = ("delta",)
+
+    def __init__(self, space: str, key: Any, delta: int = 1):
+        super().__init__(space, key)
+        self.delta = delta
+
+
+class Scan(StoreRequest):
+    """Range scan over keys in one space: ``start <= key < end``.
+
+    Result: list of ``(key, value, cell_version)`` sorted by key, at most
+    ``limit`` entries.  This powers full table scans ("data is shipped to
+    the query") and the lazy garbage collector.
+
+    With ``snapshot`` set, the storage nodes resolve the snapshot-visible
+    version of each record themselves and -- if ``scan_filter`` /
+    ``projection`` are given -- pre-filter and trim rows before shipping
+    them: the operator push-down of Section 5.2.  The result rows then
+    carry the visible *payload* instead of the whole versioned record.
+    """
+
+    __slots__ = ("end", "limit", "snapshot", "scan_filter", "projection")
+
+    def __init__(self, space: str, start: Any, end: Any,
+                 limit: Optional[int] = None, snapshot: Any = None,
+                 scan_filter: Any = None, projection: Any = None):
+        super().__init__(space, start)
+        self.end = end
+        self.limit = limit
+        self.snapshot = snapshot
+        self.scan_filter = scan_filter
+        self.projection = projection
+
+    @property
+    def start(self) -> Any:
+        return self.key
+
+
+class Batch(Request):
+    """Several storage requests combined into one network round trip.
+
+    Tell "aggressively batches operations" (Section 5.1): requests going to
+    the same storage node share a round trip.  Result: list of individual
+    results, in order.
+    """
+
+    __slots__ = ("ops",)
+
+    def __init__(self, ops: Sequence[StoreRequest]):
+        self.ops = list(ops)
+
+    def __repr__(self) -> str:
+        return f"Batch({len(self.ops)} ops)"
+
+
+def multi_get(space: str, keys: Sequence[Any]) -> Batch:
+    """Convenience: batch of Gets for ``keys`` in ``space``."""
+    return Batch([Get(space, key) for key in keys])
+
+
+# ---------------------------------------------------------------------------
+# Commit manager requests
+# ---------------------------------------------------------------------------
+
+
+class CommitManagerRequest(Request):
+    __slots__ = ()
+
+
+class StartTransaction(CommitManagerRequest):
+    """Begin a transaction.  Result: :class:`repro.core.snapshot.TxnStart`
+    carrying (tid, snapshot descriptor, lowest active version)."""
+
+    __slots__ = ()
+
+
+class ReportCommitted(CommitManagerRequest):
+    """Tell the commit manager that ``tid`` committed."""
+
+    __slots__ = ("tid",)
+
+    def __init__(self, tid: int):
+        self.tid = tid
+
+
+class ReportAborted(CommitManagerRequest):
+    """Tell the commit manager that ``tid`` aborted."""
+
+    __slots__ = ("tid",)
+
+    def __init__(self, tid: int):
+        self.tid = tid
+
+
+# ---------------------------------------------------------------------------
+# Local effects
+# ---------------------------------------------------------------------------
+
+
+class Compute(Request):
+    """Local CPU work on the processing node, in microseconds.
+
+    The direct runner ignores it; the simulation driver charges the PN's
+    core pool, which is what makes processing nodes saturate realistically.
+    """
+
+    __slots__ = ("duration",)
+
+    def __init__(self, duration: float):
+        self.duration = duration
+
+
+class Sleep(Request):
+    """Suspend for simulated time (background tasks: GC, CM sync)."""
+
+    __slots__ = ("duration",)
+
+    def __init__(self, duration: float):
+        self.duration = duration
+
+
+def run_direct(generator, router) -> Any:
+    """Drive a protocol coroutine to completion, resolving each request
+    immediately via ``router.execute``.  Returns the coroutine's result."""
+    result: Any = None
+    while True:
+        try:
+            request = generator.send(result)
+        except StopIteration as stop:
+            return stop.value
+        result = router.execute(request)

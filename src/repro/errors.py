@@ -1,0 +1,70 @@
+"""Exception hierarchy for the Tell reproduction.
+
+Every error raised by the library derives from :class:`TellError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish the common cases (conflicts, missing keys,
+node failures) that callers typically handle individually.
+"""
+
+from __future__ import annotations
+
+
+class TellError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConflictError(TellError):
+    """A store-conditional (LL/SC) write found the cell changed.
+
+    Raised during commit when another transaction has applied a conflicting
+    update since the record was load-linked.  The transaction must abort.
+    """
+
+
+class TransactionAborted(TellError):
+    """The transaction was aborted (conflict, constraint, or user abort)."""
+
+    def __init__(self, tid: int, reason: str = ""):
+        super().__init__(f"transaction {tid} aborted: {reason}")
+        self.tid = tid
+        self.reason = reason
+
+
+class KeyNotFound(TellError):
+    """The requested key does not exist in the storage layer."""
+
+
+class DuplicateKey(TellError):
+    """A unique index already contains an entry for the inserted key."""
+
+
+class NodeUnavailable(TellError):
+    """The addressed node has crashed and no replica could take over."""
+
+
+class NoCapacity(TellError):
+    """The storage layer ran out of memory capacity for the requested put."""
+
+
+class InvalidState(TellError):
+    """An operation was attempted in a state that does not permit it."""
+
+
+class SqlError(TellError):
+    """Base class for SQL front-end errors."""
+
+
+class SqlSyntaxError(SqlError):
+    """The SQL text could not be parsed."""
+
+    def __init__(self, message: str, position: int = -1):
+        super().__init__(message)
+        self.position = position
+
+
+class SqlPlanError(SqlError):
+    """The parsed statement cannot be planned (unknown table/column, ...)."""
+
+
+class SchemaError(TellError):
+    """Catalog-level violation (duplicate table, unknown column, ...)."""

@@ -1,0 +1,5 @@
+"""Latch-free distributed index structures (Section 5.3)."""
+
+from repro.index.btree import BTreeNode, DistributedBTree, IndexCache
+
+__all__ = ["BTreeNode", "DistributedBTree", "IndexCache"]

@@ -1,0 +1,701 @@
+"""A latch-free distributed B+tree stored in the shared record store.
+
+Following Section 5.3, every tree node is one key-value pair in the
+storage system, and all structural changes are installed with LL/SC
+conditional writes -- no node is ever modified in place, so no latches
+exist and system-wide progress is guaranteed (a failed conditional write
+simply retries on the fresh copy).
+
+The concrete design is a *B-link tree* (Lehman & Yao), the classic
+latch-free-friendly B+tree variant the Bw-tree also builds on: every node
+carries a ``high_key`` and a ``right_id`` sibling pointer, so a reader
+that lands on a node that has since split simply follows the link
+rightwards.  This makes half-finished splits harmless to concurrent
+readers and writers on other processing nodes.
+
+Index entries are composite ``(key, rid)`` pairs, which makes every entry
+unique even for non-unique secondary indexes, and -- as Section 5.3.2
+prescribes -- carry *no versioning information*: one entry per record,
+maintained only when the indexed key changes.
+
+Caching (Section 5.3.1): inner nodes are cached on the processing node;
+leaf nodes are always fetched from the store.  When a fetched leaf does
+not cover the probed key (its range no longer matches what the cached
+parent promised), the reader follows sibling links for correctness and
+invalidates the cached ancestors so the next traversal re-fetches them.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Dict, Generator, List, Optional, Tuple
+
+from repro import effects
+from repro.core.spaces import INDEX_SPACE, META_SPACE
+from repro.errors import DuplicateKey, InvalidState
+from repro.store.cell import approx_size
+
+EntryKey = Tuple[Any, ...]  # (index key tuple, rid)
+
+#: Upper bound greater than any rid, used for inclusive upper bounds.
+MAX_RID = float("inf")
+
+
+class BTreeNode:
+    """Immutable node: leaves hold entry keys, inner nodes separators."""
+
+    __slots__ = ("node_id", "level", "entries", "children", "high_key",
+                 "right_id", "_size")
+
+    def __init__(
+        self,
+        node_id: int,
+        level: int,
+        entries: Tuple[EntryKey, ...],
+        children: Optional[Tuple[int, ...]] = None,
+        high_key: Optional[EntryKey] = None,
+        right_id: Optional[int] = None,
+    ):
+        self.node_id = node_id
+        self.level = level
+        self.entries = entries
+        self.children = children  # None for leaves; len(entries)+1 for inner
+        self.high_key = high_key  # None means +infinity
+        self.right_id = right_id
+        self._size = -1
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.level == 0
+
+    def covers(self, entry_key: EntryKey) -> bool:
+        """Does this node's range still include ``entry_key``?"""
+        return self.high_key is None or entry_key < self.high_key
+
+    def child_for(self, entry_key: EntryKey) -> int:
+        assert self.children is not None
+        position = bisect.bisect_right(self.entries, entry_key)
+        return self.children[position]
+
+    def approx_size(self) -> int:
+        # Estimated from the first entry: entries of one index are
+        # homogeneous, and sizing is on the hot path of every node write.
+        if self._size < 0:
+            per_entry = approx_size(self.entries[0]) if self.entries else 8
+            size = 24 + per_entry * len(self.entries)
+            if self.children is not None:
+                size += 8 * len(self.children)
+            self._size = size
+        return self._size
+
+    def __repr__(self) -> str:
+        kind = "leaf" if self.is_leaf else f"inner(l{self.level})"
+        return f"<BTreeNode {self.node_id} {kind} {len(self.entries)} entries>"
+
+
+class IndexCache:
+    """PN-local cache of inner nodes: node_id -> (node, cell_version)."""
+
+    def __init__(self) -> None:
+        self._nodes: Dict[int, Tuple[BTreeNode, int]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, node_id: int) -> Optional[Tuple[BTreeNode, int]]:
+        cached = self._nodes.get(node_id)
+        if cached is not None:
+            self.hits += 1
+        return cached
+
+    def put(self, node: BTreeNode, cell_version: int) -> None:
+        if not node.is_leaf:  # leaves are never cached (Section 5.3.1)
+            self._nodes[node.node_id] = (node, cell_version)
+
+    def invalidate(self, node_id: int) -> None:
+        self._nodes.pop(node_id, None)
+
+    def clear(self) -> None:
+        self._nodes.clear()
+
+
+class DistributedBTree:
+    """One index tree; instantiate per (index, processing node) pair.
+
+    All PNs operating on the same ``index_id`` share the tree through the
+    store; the object itself only holds the PN-local cache.
+    """
+
+    def __init__(
+        self,
+        index_id: int,
+        max_entries: int = 64,
+        cache: Optional[IndexCache] = None,
+        cache_inner_nodes: bool = True,
+    ):
+        if max_entries < 4:
+            raise InvalidState("B+tree fanout must be at least 4")
+        self.index_id = index_id
+        self.max_entries = max_entries
+        self.cache = cache if cache is not None else IndexCache()
+        self.cache_inner_nodes = cache_inner_nodes
+        # Cached root pointer (node_id, level).  A stale root is safe as a
+        # descent entry point (inner nodes are never deleted and sibling
+        # links cover splits); it is refreshed when staleness is detected.
+        self._root_cache: Optional[Tuple[int, int]] = None
+
+    # -- storage helpers -------------------------------------------------------
+
+    def _node_key(self, node_id: int) -> Tuple[int, int]:
+        return (self.index_id, node_id)
+
+    def _root_key(self) -> Tuple[int, str]:
+        return (self.index_id, "root")
+
+    def _fetch(self, node_id: int) -> Generator:
+        """Fetch a node from the store; returns (node, cell_version)."""
+        value, version = yield effects.Get(INDEX_SPACE, self._node_key(node_id))
+        if value is None:
+            raise InvalidState(
+                f"index {self.index_id}: node {node_id} vanished"
+            )
+        self.cache.misses += 1
+        return value, version
+
+    def _load(self, node_id: int, use_cache: bool) -> Generator:
+        if use_cache and self.cache_inner_nodes:
+            cached = self.cache.get(node_id)
+            if cached is not None:
+                return cached
+        node, version = yield from self._fetch(node_id)
+        if use_cache and self.cache_inner_nodes:
+            self.cache.put(node, version)
+        return node, version
+
+    def _new_node_id(self) -> Generator:
+        value = yield effects.Increment(
+            META_SPACE, ("counter", ("index_node", self.index_id))
+        )
+        return value + 1  # id 1 is reserved for the initial root leaf
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def create(self) -> Generator:
+        """Initialize an empty tree (id 1 = empty root leaf).
+
+        Safe to race: only the first creator's conditional writes win.
+        """
+        leaf = BTreeNode(1, 0, ())
+        yield effects.PutIfVersion(INDEX_SPACE, self._node_key(1), leaf, 0)
+        yield effects.PutIfVersion(INDEX_SPACE, self._root_key(), (1, 0), 0)
+
+    def _root(self) -> Generator:
+        if self.cache_inner_nodes and self._root_cache is not None:
+            return self._root_cache
+        return (yield from self._refresh_root())
+
+    def _refresh_root(self) -> Generator:
+        value, _version = yield effects.Get(INDEX_SPACE, self._root_key())
+        if value is None:
+            raise InvalidState(f"index {self.index_id} does not exist")
+        self._root_cache = value
+        return value  # (root_node_id, root_level)
+
+    # -- traversal ---------------------------------------------------------------
+
+    def _descend(self, entry_key: EntryKey) -> Generator:
+        """Walk to the leaf that should hold ``entry_key``.
+
+        Returns ``(leaf, cell_version, path)`` where ``path[level]`` is the
+        node id traversed at that level (used as split-insertion hints).
+        Detects stale cached parents: if the store copy of a cached inner
+        node no longer covers the key, the cache entry is refreshed
+        recursively, exactly the validation rule of Section 5.3.1.
+        """
+        root_id, root_level = yield from self._root()
+        path: Dict[int, int] = {root_level: root_id}
+        node_id = root_id
+        level = root_level
+        while True:
+            use_cache = level > 0
+            node, version = yield from self._load(node_id, use_cache)
+            moved_right = 0
+            while not node.covers(entry_key):
+                if node.right_id is None:
+                    break  # rightmost node covers everything above
+                self.cache.invalidate(node_id)
+                node_id = node.right_id
+                node, version = yield from self._load(node_id, use_cache)
+                moved_right += 1
+            if moved_right and level == 0:
+                # Leaf range mismatch: cached parents were stale; refresh
+                # them so future traversals go direct (Section 5.3.1).
+                for parent_level in list(path):
+                    if parent_level > 0:
+                        self.cache.invalidate(path[parent_level])
+            path[level] = node_id
+            if node.is_leaf:
+                return node, version, path
+            node_id = node.child_for(entry_key)
+            level = node.level - 1
+            path[level] = node_id
+
+    # -- lookups ---------------------------------------------------------------
+
+    def lookup(self, key: Any) -> Generator:
+        """All rids indexed under ``key`` (non-unique aware)."""
+        entries = yield from self.range_entries((key,), (key, MAX_RID))
+        return [entry[1] for entry in entries]
+
+    def lookup_many(self, keys: List[Any]) -> Generator:
+        """Point lookups for several keys with batched leaf fetches.
+
+        This is the index side of Tell's aggressive batching (Section
+        5.1): inner nodes come from the PN cache, so the leaves for all
+        probed keys are fetched in a single round trip.  Keys whose leaf
+        cannot be predicted from the cache (cold cache, stale range) fall
+        back to individual descents.  Returns ``{key: [rids]}``.
+        """
+        result: Dict[Any, List[int]] = {}
+        by_leaf: Dict[int, List[Any]] = {}
+        fallback: List[Any] = []
+        for key in keys:
+            leaf_id = self._cached_leaf_for((key,))
+            if leaf_id is None:
+                fallback.append(key)
+            else:
+                by_leaf.setdefault(leaf_id, []).append(key)
+        if by_leaf:
+            leaf_ids = list(by_leaf.keys())
+            responses = yield effects.Batch(
+                [effects.Get(INDEX_SPACE, self._node_key(lid)) for lid in leaf_ids]
+            )
+            for leaf_id, (leaf, _version) in zip(leaf_ids, responses):
+                for key in by_leaf[leaf_id]:
+                    if leaf is None or not self._leaf_answers(leaf, key):
+                        fallback.append(key)
+                    else:
+                        result[key] = self._rids_in_leaf(leaf, key)
+        for key in fallback:
+            result[key] = yield from self.lookup(key)
+        return result
+
+    def _leaf_answers(self, leaf: BTreeNode, key: Any) -> bool:
+        """Can ``leaf`` alone answer a point lookup of ``key``?
+
+        Requires the leaf to cover the whole ``(key, *)`` entry range: the
+        key must be below the high key and, if present, not be the very
+        first entry (a same-key entry could then live in a left sibling
+        after a stale-cache descent).
+        """
+        if not leaf.is_leaf:
+            return False
+        if leaf.high_key is not None and (key, MAX_RID) >= leaf.high_key:
+            return False
+        position = bisect.bisect_left(leaf.entries, (key,))
+        if position == 0 and leaf.entries and leaf.entries[0][0] == key:
+            return False  # run may extend into the left sibling
+        return True
+
+    @staticmethod
+    def _rids_in_leaf(leaf: BTreeNode, key: Any) -> List[int]:
+        position = bisect.bisect_left(leaf.entries, (key,))
+        rids: List[int] = []
+        for entry in leaf.entries[position:]:
+            if entry[0] != key:
+                break
+            rids.append(entry[1])
+        return rids
+
+    def _cached_leaf_for(self, entry_key: EntryKey) -> Optional[int]:
+        """Predict the leaf for ``entry_key`` using only cached nodes."""
+        if not self.cache_inner_nodes or self._root_cache is None:
+            return None
+        node_id, level = self._root_cache
+        while level > 0:
+            cached = self.cache.get(node_id)
+            if cached is None:
+                return None
+            node, _version = cached
+            if not node.covers(entry_key):
+                return None  # stale range: take the slow path
+            node_id = node.child_for(entry_key)
+            level = node.level - 1
+        return node_id
+
+    def lookup_unique(self, key: Any) -> Generator:
+        """The single rid under ``key`` or None."""
+        rids = yield from self.lookup(key)
+        if len(rids) > 1:
+            # Possible transiently when stale entries await GC; the caller
+            # disambiguates by reading the records.
+            return rids
+        return rids[0] if rids else None
+
+    def range_entries(
+        self,
+        low: EntryKey,
+        high: Optional[EntryKey],
+        limit: Optional[int] = None,
+    ) -> Generator:
+        """Entries with ``low <= (key, rid) < high`` in order.
+
+        ``high=None`` scans to the end of the index.
+        """
+        leaf, _version, _path = yield from self._descend(low)
+        results: List[EntryKey] = []
+        while True:
+            start = bisect.bisect_left(leaf.entries, low)
+            for entry in leaf.entries[start:]:
+                if high is not None and entry >= high:
+                    return results
+                results.append(entry)
+                if limit is not None and len(results) >= limit:
+                    return results
+            if leaf.right_id is None:
+                return results
+            if high is not None and leaf.high_key is not None and leaf.high_key >= high:
+                return results
+            leaf, _version = yield from self._fetch(leaf.right_id)
+
+    # -- insert -----------------------------------------------------------------
+
+    def insert(self, key: Any, rid: int, unique: bool = False) -> Generator:
+        """Insert the entry ``(key, rid)``.
+
+        With ``unique=True``, an existing entry under the same key raises
+        :class:`DuplicateKey` (callers GC dead entries beforehand when the
+        duplicate might be a leftover of a deleted record).
+        Returns False if the exact entry already existed.
+        """
+        entry = (key, rid)
+        while True:
+            leaf, version, path = yield from self._descend(entry)
+            position = bisect.bisect_left(leaf.entries, entry)
+            if position < len(leaf.entries) and leaf.entries[position] == entry:
+                return False
+            if unique:
+                same_key = [e for e in leaf.entries if e[0] == key]
+                if same_key:
+                    raise DuplicateKey(
+                        f"index {self.index_id}: key {key!r} already present"
+                    )
+                # A same-key entry could also sit in the left sibling's
+                # tail; entries share the key prefix so they cannot span
+                # leaves unless this leaf starts with the key.
+                if position == 0 and leaf.entries:
+                    conflict = yield from self.lookup(key)
+                    if conflict:
+                        raise DuplicateKey(
+                            f"index {self.index_id}: key {key!r} already present"
+                        )
+            new_entries = leaf.entries[:position] + (entry,) + leaf.entries[position:]
+            if len(new_entries) <= self.max_entries:
+                updated = BTreeNode(
+                    leaf.node_id, 0, new_entries,
+                    high_key=leaf.high_key, right_id=leaf.right_id,
+                )
+                ok, _ = yield effects.PutIfVersion(
+                    INDEX_SPACE, self._node_key(leaf.node_id), updated, version
+                )
+                if ok:
+                    return True
+                continue  # raced: retry from a fresh descent
+            done = yield from self._split_and_insert(leaf, version, new_entries, path)
+            if done:
+                return True
+
+    def _split_and_insert(
+        self,
+        node: BTreeNode,
+        version: int,
+        new_entries: Tuple[EntryKey, ...],
+        path: Dict[int, int],
+        new_children: Optional[Tuple[int, ...]] = None,
+    ) -> Generator:
+        """Split ``node`` (already containing the new entry in
+        ``new_entries``) and hook the new sibling into the parent.
+
+        Returns False when the conditional write of the left half lost a
+        race (caller retries the whole operation).
+        """
+        mid = len(new_entries) // 2
+        split_key = new_entries[mid]
+        right_id = yield from self._new_node_id()
+        if node.is_leaf:
+            right = BTreeNode(
+                right_id, 0, new_entries[mid:],
+                high_key=node.high_key, right_id=node.right_id,
+            )
+            left = BTreeNode(
+                node.node_id, 0, new_entries[:mid],
+                high_key=split_key, right_id=right_id,
+            )
+        else:
+            assert new_children is not None
+            # Inner split: the separator at ``mid`` moves up; its right
+            # neighbourhood forms the new node.
+            right = BTreeNode(
+                right_id, node.level, new_entries[mid + 1:],
+                children=new_children[mid + 1:],
+                high_key=node.high_key, right_id=node.right_id,
+            )
+            left = BTreeNode(
+                node.node_id, node.level, new_entries[:mid],
+                children=new_children[: mid + 1],
+                high_key=split_key, right_id=right_id,
+            )
+        yield effects.Put(INDEX_SPACE, self._node_key(right_id), right)
+        ok, _ = yield effects.PutIfVersion(
+            INDEX_SPACE, self._node_key(node.node_id), left, version
+        )
+        if not ok:
+            # Lost the race; the fresh right node is unreachable garbage.
+            yield effects.Delete(INDEX_SPACE, self._node_key(right_id))
+            return False
+        self.cache.invalidate(node.node_id)
+        yield from self._insert_separator(
+            node.level + 1, split_key, right_id, path
+        )
+        return True
+
+    def _insert_separator(
+        self, level: int, split_key: EntryKey, child_id: int, path: Dict[int, int]
+    ) -> Generator:
+        """Install ``split_key -> child_id`` at ``level`` (growing the root
+        if the tree is shorter than ``level``)."""
+        while True:
+            root_id, root_level = yield from self._root()
+            if root_level < level:
+                grown = yield from self._grow_root(
+                    root_id, root_level, level, split_key, child_id
+                )
+                if grown:
+                    return
+                continue
+            node_id = path.get(level)
+            if node_id is None:
+                node_id = yield from self._find_level_node(split_key, level)
+            node, version = yield from self._fetch(node_id)
+            moved = False
+            while not node.covers(split_key):
+                if node.right_id is None:
+                    break
+                node_id = node.right_id
+                node, version = yield from self._fetch(node_id)
+                moved = True
+            if node.level != level:
+                # Path hint was stale (e.g. root changed); re-resolve.
+                path.pop(level, None)
+                continue
+            position = bisect.bisect_left(node.entries, split_key)
+            if position < len(node.entries) and node.entries[position] == split_key:
+                return  # separator already installed by a helper
+            new_entries = (
+                node.entries[:position] + (split_key,) + node.entries[position:]
+            )
+            new_children = (
+                node.children[: position + 1]
+                + (child_id,)
+                + node.children[position + 1:]
+            )
+            if len(new_entries) <= self.max_entries:
+                updated = BTreeNode(
+                    node.node_id, level, new_entries, children=new_children,
+                    high_key=node.high_key, right_id=node.right_id,
+                )
+                ok, _ = yield effects.PutIfVersion(
+                    INDEX_SPACE, self._node_key(node.node_id), updated, version
+                )
+                if ok:
+                    self.cache.invalidate(node.node_id)
+                    return
+                continue
+            done = yield from self._split_and_insert(
+                node, version, new_entries, path, new_children
+            )
+            if done:
+                return
+
+    def _grow_root(
+        self,
+        old_root_id: int,
+        old_root_level: int,
+        new_level: int,
+        split_key: EntryKey,
+        child_id: int,
+    ) -> Generator:
+        """Create a taller root; returns False when the root CAS lost."""
+        new_root_id = yield from self._new_node_id()
+        new_root = BTreeNode(
+            new_root_id, new_level, (split_key,),
+            children=(old_root_id, child_id),
+        )
+        yield effects.Put(INDEX_SPACE, self._node_key(new_root_id), new_root)
+        current, root_version = yield effects.Get(INDEX_SPACE, self._root_key())
+        if current != (old_root_id, old_root_level):
+            self._root_cache = current  # our view was stale; adopt reality
+            yield effects.Delete(INDEX_SPACE, self._node_key(new_root_id))
+            return False
+        ok, _ = yield effects.PutIfVersion(
+            INDEX_SPACE, self._root_key(), (new_root_id, new_level), root_version
+        )
+        if ok:
+            self._root_cache = (new_root_id, new_level)
+        else:
+            self._root_cache = None
+            yield effects.Delete(INDEX_SPACE, self._node_key(new_root_id))
+        return ok
+
+    def _find_level_node(self, entry_key: EntryKey, level: int) -> Generator:
+        """Descend from the root to the node at ``level`` covering the key."""
+        root_id, root_level = yield from self._root()
+        node_id = root_id
+        current = root_level
+        while current > level:
+            node, _version = yield from self._load(node_id, use_cache=True)
+            while not node.covers(entry_key):
+                if node.right_id is None:
+                    break
+                self.cache.invalidate(node_id)
+                node_id = node.right_id
+                node, _version = yield from self._load(node_id, use_cache=True)
+            node_id = node.child_for(entry_key)
+            current = node.level - 1
+        return node_id
+
+    # -- delete ---------------------------------------------------------------
+
+    def delete(self, key: Any, rid: int) -> Generator:
+        """Remove the entry ``(key, rid)``; returns False if absent.
+
+        Leaves may become empty; they are not merged (a simplification --
+        the Bw-tree merges lazily, and empty leaves are harmless to
+        correctness, only to space, which the paper's workloads never
+        stressed).  A failed conditional write retries on the fresh copy,
+        matching Section 5.4's "GC is retried with the next read".
+        """
+        entry = (key, rid)
+        while True:
+            leaf, version, _path = yield from self._descend(entry)
+            position = bisect.bisect_left(leaf.entries, entry)
+            if position >= len(leaf.entries) or leaf.entries[position] != entry:
+                return False
+            new_entries = leaf.entries[:position] + leaf.entries[position + 1:]
+            updated = BTreeNode(
+                leaf.node_id, 0, new_entries,
+                high_key=leaf.high_key, right_id=leaf.right_id,
+            )
+            ok, _ = yield effects.PutIfVersion(
+                INDEX_SPACE, self._node_key(leaf.node_id), updated, version
+            )
+            if ok:
+                return True
+
+    # -- bulk loading ------------------------------------------------------------
+
+    def bulk_build(self, entries: List[EntryKey], fill: float = 0.75) -> Generator:
+        """Build the tree bottom-up from sorted entries (initial load).
+
+        Must only be used on an index no other node is accessing -- this
+        is the database-population fast path, not a concurrent operation.
+        Returns the number of nodes written.
+        """
+        if sorted(entries) != list(entries):
+            raise InvalidState("bulk_build requires sorted entries")
+        per_node = max(4, int(self.max_entries * fill))
+        # Chunk the leaf level.
+        leaf_chunks = [
+            tuple(entries[i : i + per_node])
+            for i in range(0, len(entries), per_node)
+        ] or [()]
+        levels: List[List[Tuple[EntryKey, ...]]] = [leaf_chunks]
+        while len(levels[-1]) > 1:
+            below = levels[-1]
+            sep_keys = [chunk[0] for chunk in below]
+            inner: List[Tuple[EntryKey, ...]] = []
+            for i in range(0, len(below), per_node):
+                inner.append(tuple(sep_keys[i : i + per_node]))
+            levels.append(inner)
+        # Allocate ids for every node in one counter bump.
+        total = sum(len(level) for level in levels)
+        top = yield effects.Increment(
+            META_SPACE, ("counter", ("index_node", self.index_id)), total
+        )
+        first_id = top - total + 2  # ids start after the reserved root leaf
+        ids: List[List[int]] = []
+        cursor = first_id
+        for level in levels:
+            ids.append(list(range(cursor, cursor + len(level))))
+            cursor += len(level)
+
+        puts: List[effects.Put] = []
+        # Leaves, with sibling links and high keys.
+        leaf_ids = ids[0]
+        for position, chunk in enumerate(leaf_chunks):
+            right_id = leaf_ids[position + 1] if position + 1 < len(leaf_ids) else None
+            high = (
+                leaf_chunks[position + 1][0]
+                if position + 1 < len(leaf_chunks)
+                else None
+            )
+            puts.append(
+                effects.Put(
+                    INDEX_SPACE,
+                    self._node_key(leaf_ids[position]),
+                    BTreeNode(leaf_ids[position], 0, chunk,
+                              high_key=high, right_id=right_id),
+                )
+            )
+        # Inner levels.
+        for level_number in range(1, len(levels)):
+            chunks = levels[level_number]
+            level_ids = ids[level_number]
+            child_ids = ids[level_number - 1]
+            child_cursor = 0
+            for position, chunk in enumerate(chunks):
+                n_children = len(chunk)
+                children = tuple(child_ids[child_cursor : child_cursor + n_children])
+                child_cursor += n_children
+                separators = chunk[1:]  # first key of each child but the first
+                right_id = (
+                    level_ids[position + 1] if position + 1 < len(level_ids) else None
+                )
+                high = (
+                    chunks[position + 1][0] if position + 1 < len(chunks) else None
+                )
+                puts.append(
+                    effects.Put(
+                        INDEX_SPACE,
+                        self._node_key(level_ids[position]),
+                        BTreeNode(level_ids[position], level_number, separators,
+                                  children=children, high_key=high,
+                                  right_id=right_id),
+                    )
+                )
+        root_id = ids[-1][0]
+        root_level = len(levels) - 1
+        puts.append(effects.Put(INDEX_SPACE, self._root_key(), (root_id, root_level)))
+        chunk_size = 512
+        for i in range(0, len(puts), chunk_size):
+            yield effects.Batch(puts[i : i + chunk_size])
+        self._root_cache = (root_id, root_level)
+        self.cache.clear()
+        return total
+
+    # -- whole-index iteration (for scans and verification) -----------------------
+
+    def all_entries(self) -> Generator:
+        """Every entry, left to right (used by tests and index rebuilds)."""
+        root_id, root_level = yield from self._root()
+        node_id = root_id
+        level = root_level
+        while level > 0:
+            node, _version = yield from self._fetch(node_id)
+            node_id = node.children[0]
+            level = node.level - 1
+        results: List[EntryKey] = []
+        while node_id is not None:
+            leaf, _version = yield from self._fetch(node_id)
+            results.extend(leaf.entries)
+            node_id = leaf.right_id
+        return results

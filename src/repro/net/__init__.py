@@ -1,0 +1,15 @@
+"""Network cost model: latency/bandwidth profiles for the simulated fabric."""
+
+from repro.net.profiles import (
+    ETHERNET_10G,
+    INFINIBAND_QDR,
+    NetworkProfile,
+    profile_by_name,
+)
+
+__all__ = [
+    "ETHERNET_10G",
+    "INFINIBAND_QDR",
+    "NetworkProfile",
+    "profile_by_name",
+]

@@ -1,0 +1,18 @@
+"""Deterministic discrete-event simulation kernel.
+
+The kernel replaces the paper's physical cluster.  Protocol code (the actual
+Tell implementation in :mod:`repro.core`) runs unmodified as coroutines;
+only the *timing* of storage and commit-manager requests is simulated, which
+is what determines the interleavings, conflicts, and throughput shapes the
+paper measures.
+"""
+
+from repro.sim.kernel import (
+    Delay,
+    Event,
+    Process,
+    SimClock,
+    Simulator,
+)
+
+__all__ = ["Delay", "Event", "Process", "SimClock", "Simulator"]

@@ -1,0 +1,223 @@
+"""Event loop, processes, and events for the discrete-event simulator.
+
+Time is a ``float`` in *microseconds*; the paper's latency numbers
+(InfiniBand RDMA in single-digit microseconds, Ethernet round trips in tens
+of microseconds) are most natural at this scale.
+
+Processes are plain generator functions.  A process may yield:
+
+* :class:`Delay` -- suspend for a fixed amount of simulated time,
+* :class:`Event` -- suspend until the event is triggered; ``event.value``
+  is sent back into the generator when it resumes.
+
+The kernel is deterministic: events scheduled for the same timestamp fire
+in scheduling order (a monotonically increasing sequence number breaks
+ties), so a fixed random seed reproduces the exact same run.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
+
+from repro.errors import InvalidState
+
+ProcessGenerator = Generator[Any, Any, Any]
+
+
+class Delay:
+    """Yield value suspending the process for ``duration`` microseconds."""
+
+    __slots__ = ("duration",)
+
+    def __init__(self, duration: float):
+        if duration < 0:
+            raise ValueError(f"negative delay: {duration}")
+        self.duration = duration
+
+    def __repr__(self) -> str:
+        return f"Delay({self.duration})"
+
+
+class Event:
+    """A one-shot event processes can wait on.
+
+    ``trigger(value)`` wakes every waiting process and delivers ``value``
+    as the result of the ``yield``.  Waiting on an already-triggered event
+    resumes the process immediately (at the current timestamp).
+    """
+
+    __slots__ = ("sim", "triggered", "value", "_waiters")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.triggered = False
+        self.value: Any = None
+        self._waiters: List["Process"] = []
+
+    def trigger(self, value: Any = None) -> None:
+        if self.triggered:
+            raise InvalidState("event already triggered")
+        self.triggered = True
+        self.value = value
+        waiters, self._waiters = self._waiters, []
+        for process in waiters:
+            self.sim._schedule(0.0, process, value)
+
+    def add_waiter(self, process: "Process") -> None:
+        if self.triggered:
+            self.sim._schedule(0.0, process, self.value)
+        else:
+            self._waiters.append(process)
+
+
+class Process:
+    """Wrapper around a running generator coroutine."""
+
+    __slots__ = ("sim", "generator", "name", "finished", "result", "done_event")
+
+    def __init__(self, sim: "Simulator", generator: ProcessGenerator, name: str):
+        self.sim = sim
+        self.generator = generator
+        self.name = name
+        self.finished = False
+        self.result: Any = None
+        self.done_event = Event(sim)
+
+    def _step(self, send_value: Any) -> None:
+        """Advance the generator by one yield, scheduling its next resume."""
+        try:
+            yielded = self.generator.send(send_value)
+        except StopIteration as stop:
+            self.finished = True
+            self.result = stop.value
+            self.done_event.trigger(stop.value)
+            return
+        if isinstance(yielded, Delay):
+            self.sim._schedule(yielded.duration, self, None)
+        elif isinstance(yielded, Event):
+            yielded.add_waiter(self)
+        else:
+            raise TypeError(
+                f"process {self.name!r} yielded {yielded!r}; expected Delay or Event"
+            )
+
+    def __repr__(self) -> str:
+        state = "done" if self.finished else "running"
+        return f"<Process {self.name} {state}>"
+
+
+class SimClock:
+    """Read-only view of simulator time, shareable with components."""
+
+    __slots__ = ("_sim",)
+
+    def __init__(self, sim: "Simulator"):
+        self._sim = sim
+
+    @property
+    def now(self) -> float:
+        return self._sim.now
+
+
+class Simulator:
+    """The discrete-event scheduler.
+
+    Typical use::
+
+        sim = Simulator()
+        sim.spawn(worker(), name="worker-0")
+        sim.run(until=1_000_000.0)   # one simulated second
+    """
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._queue: List[Tuple[float, int, Process, Any]] = []
+        self._sequence = itertools.count()
+        self._stopped = False
+
+    # -- scheduling ------------------------------------------------------
+
+    def spawn(self, generator: ProcessGenerator, name: str = "proc") -> Process:
+        """Register ``generator`` as a process starting at the current time."""
+        process = Process(self, generator, name)
+        self._schedule(0.0, process, None)
+        return process
+
+    def _schedule(self, delay: float, process: Process, value: Any) -> None:
+        heapq.heappush(
+            self._queue, (self.now + delay, next(self._sequence), process, value)
+        )
+
+    def call_at(self, when: float, callback: Callable[[], None]) -> None:
+        """Run a plain callback at absolute simulated time ``when``.
+
+        Callbacks are scheduled directly on the event heap (no Process
+        wrapper) -- they are the fabric's hot path.
+        """
+        heapq.heappush(
+            self._queue, (max(when, self.now), next(self._sequence), None, callback)
+        )
+
+    def event(self) -> Event:
+        return Event(self)
+
+    # -- execution -------------------------------------------------------
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until the queue drains or simulated time reaches ``until``.
+
+        Returns the final simulated time.
+        """
+        self._stopped = False
+        while self._queue and not self._stopped:
+            when, _, process, value = self._queue[0]
+            if until is not None and when > until:
+                self.now = until
+                break
+            heapq.heappop(self._queue)
+            self.now = when
+            if process is None:
+                value()  # plain callback scheduled via call_at
+            elif not process.finished:
+                process._step(value)
+        if until is not None and self.now < until and not self._stopped:
+            self.now = until
+        return self.now
+
+    def run_until_complete(self, process: Process, limit: float = 1e12) -> Any:
+        """Run until ``process`` finishes; returns its result."""
+        while not process.finished:
+            if not self._queue:
+                raise InvalidState(
+                    f"deadlock: {process.name} pending with empty event queue"
+                )
+            when, _, proc, value = heapq.heappop(self._queue)
+            if when > limit:
+                raise InvalidState(f"{process.name} did not finish before {limit}")
+            self.now = when
+            if proc is None:
+                value()
+            elif not proc.finished:
+                proc._step(value)
+        return process.result
+
+    def stop(self) -> None:
+        """Stop the current :meth:`run` after the in-flight step."""
+        self._stopped = True
+
+    # -- helpers ---------------------------------------------------------
+
+    def clock(self) -> SimClock:
+        return SimClock(self)
+
+    def pending(self) -> int:
+        return len(self._queue)
+
+
+def all_of(sim: Simulator, processes: Iterable[Process]) -> ProcessGenerator:
+    """A coroutine that waits for every process in ``processes``."""
+    for process in processes:
+        if not process.finished:
+            yield process.done_event

@@ -1,0 +1,45 @@
+"""Total-order encoding of index key components.
+
+SQL values of mixed types (and NULLs) are not comparable as raw Python
+values, but B+tree entries must have a total order.  Every component is
+therefore wrapped as ``(type_rank, value)``:
+
+* NULL sorts first (rank 0),
+* booleans (rank 1),
+* numbers (rank 2; int/float compare naturally),
+* strings (rank 3),
+* bytes (rank 4).
+
+Encoding happens at the tree boundary only -- table rows and user-facing
+keys stay raw.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Tuple
+
+_NULL = (0, False)
+
+#: Type rank strictly greater than any produced by :func:`encode_component`;
+#: ``(ABOVE_ALL_RANK,)`` therefore sorts above every real key component,
+#: which range scans use to build inclusive prefix upper bounds.
+ABOVE_ALL_RANK = 5
+
+
+def encode_component(value: Any) -> Tuple[int, Any]:
+    if value is None:
+        return _NULL
+    if isinstance(value, bool):
+        return (1, value)
+    if isinstance(value, (int, float)):
+        return (2, value)
+    if isinstance(value, str):
+        return (3, value)
+    if isinstance(value, bytes):
+        return (4, value)
+    raise TypeError(f"cannot index value of type {type(value).__name__}")
+
+
+def encode_key(key: Tuple[Any, ...]) -> Tuple[Tuple[int, Any], ...]:
+    """Encode a whole index key tuple."""
+    return tuple(encode_component(component) for component in key)

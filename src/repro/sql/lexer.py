@@ -1,0 +1,101 @@
+"""Tokenizer for the SQL dialect."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import SqlSyntaxError
+
+KEYWORDS = {
+    "SELECT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER", "LIMIT",
+    "ASC", "DESC", "INSERT", "INTO", "VALUES", "UPDATE", "SET", "DELETE",
+    "CREATE", "TABLE", "INDEX", "UNIQUE", "DROP", "PRIMARY", "KEY",
+    "NOT", "NULL", "DEFAULT", "AND", "OR", "IN", "BETWEEN", "IS", "LIKE",
+    "JOIN", "INNER", "LEFT", "ON", "AS", "DISTINCT", "BEGIN", "COMMIT",
+    "ROLLBACK", "ABORT", "TRUE", "FALSE", "FOR",
+}
+
+SYMBOLS = ("<=", ">=", "<>", "!=", "=", "<", ">", "(", ")", ",", ".", "*",
+           "+", "-", "/", "?", ";")
+
+
+class Token:
+    __slots__ = ("kind", "value", "position")
+
+    def __init__(self, kind: str, value, position: int):
+        self.kind = kind       # KEYWORD | IDENT | NUMBER | STRING | SYMBOL | EOF
+        self.value = value
+        self.position = position
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.value!r})"
+
+
+def tokenize(sql: str) -> List[Token]:
+    tokens: List[Token] = []
+    i = 0
+    n = len(sql)
+    while i < n:
+        ch = sql[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if sql.startswith("--", i):
+            end = sql.find("\n", i)
+            i = n if end < 0 else end + 1
+            continue
+        if ch == "'":
+            j = i + 1
+            parts = []
+            while True:
+                if j >= n:
+                    raise SqlSyntaxError("unterminated string literal", i)
+                if sql[j] == "'":
+                    if j + 1 < n and sql[j + 1] == "'":  # escaped quote
+                        parts.append("'")
+                        j += 2
+                        continue
+                    break
+                parts.append(sql[j])
+                j += 1
+            tokens.append(Token("STRING", "".join(parts), i))
+            i = j + 1
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and sql[i + 1].isdigit()):
+            j = i
+            is_float = False
+            while j < n and (sql[j].isdigit() or sql[j] == "."):
+                if sql[j] == ".":
+                    if is_float:
+                        break
+                    is_float = True
+                j += 1
+            text = sql[i:j]
+            tokens.append(
+                Token("NUMBER", float(text) if is_float else int(text), i)
+            )
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (sql[j].isalnum() or sql[j] == "_"):
+                j += 1
+            word = sql[i:j]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token("KEYWORD", upper, i))
+            else:
+                tokens.append(Token("IDENT", word.lower(), i))
+            i = j
+            continue
+        matched: Optional[str] = None
+        for symbol in SYMBOLS:
+            if sql.startswith(symbol, i):
+                matched = symbol
+                break
+        if matched is None:
+            raise SqlSyntaxError(f"unexpected character {ch!r}", i)
+        tokens.append(Token("SYMBOL", matched, i))
+        i += len(matched)
+    tokens.append(Token("EOF", None, n))
+    return tokens

@@ -1,0 +1,252 @@
+"""Sessions: the SQL entry point bound to one processing node.
+
+A session owns (at most) one open transaction and executes SQL statements
+through the parser/executor.  Without an explicit BEGIN, every statement
+runs in its own auto-committed transaction -- including multi-row
+INSERTs, which commit atomically.
+
+DDL is executed against the shared catalog with a conditional write, so
+concurrent DDL from two processing nodes conflicts cleanly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Generator, List, Optional, Sequence
+
+from repro import effects
+from repro.core.processing_node import ProcessingNode
+from repro.core.spaces import DATA_SPACE
+from repro.core.transaction import Transaction
+from repro.errors import InvalidState, SqlPlanError, TransactionAborted
+from repro.sql import ast_nodes as ast
+from repro.sql.executor import ResultSet, StatementExecutor
+from repro.sql.parser import parse
+from repro.sql.schema import Catalog, Column, TableSchema
+from repro.sql.table import IndexManager, Table
+from repro.sql.types import ColumnType
+
+
+class Session:
+    """One client connection to a processing node."""
+
+    def __init__(self, pn: ProcessingNode, runner, index_manager=None):  # noqa: ANN001
+        self.pn = pn
+        self.runner = runner
+        self.indexes = index_manager if index_manager is not None else IndexManager()
+        self._catalog: Optional[Catalog] = None
+        self._catalog_version = 0
+        self._txn: Optional[Transaction] = None
+
+    # -- catalog -----------------------------------------------------------------
+
+    @property
+    def catalog(self) -> Catalog:
+        if self._catalog is None:
+            self.refresh_catalog()
+        return self._catalog
+
+    def refresh_catalog(self) -> None:
+        self._catalog, self._catalog_version = self.runner.run(Catalog.load())
+
+    # -- transactions ---------------------------------------------------------------
+
+    @property
+    def in_transaction(self) -> bool:
+        return self._txn is not None
+
+    def begin(self) -> Transaction:
+        if self._txn is not None:
+            raise InvalidState("a transaction is already open on this session")
+        self._txn = self.runner.run(self.pn.begin())
+        return self._txn
+
+    def commit(self) -> None:
+        if self._txn is None:
+            raise InvalidState("no open transaction")
+        txn, self._txn = self._txn, None
+        try:
+            self.runner.run(txn.commit())
+            self.pn.stats.committed += 1
+        except TransactionAborted:
+            self.pn.stats.aborted += 1
+            raise
+
+    def rollback(self) -> None:
+        if self._txn is None:
+            raise InvalidState("no open transaction")
+        txn, self._txn = self._txn, None
+        self.runner.run(txn.abort())
+        self.pn.stats.aborted += 1
+
+    # -- SQL ---------------------------------------------------------------------------
+
+    def execute(self, sql: str, params: Sequence[Any] = ()) -> ResultSet:
+        """Parse and execute one SQL statement."""
+        statement = parse(sql)
+        if isinstance(statement, ast.BeginStmt):
+            self.begin()
+            return ResultSet([], [], 0)
+        if isinstance(statement, ast.CommitStmt):
+            self.commit()
+            return ResultSet([], [], 0)
+        if isinstance(statement, ast.RollbackStmt):
+            self.rollback()
+            return ResultSet([], [], 0)
+        if isinstance(statement, (ast.CreateTable, ast.CreateIndex, ast.DropTable)):
+            if self._txn is not None:
+                raise InvalidState("DDL cannot run inside a transaction")
+            return self._execute_ddl(statement)
+        return self._execute_dml(statement, params)
+
+    def query(self, sql: str, params: Sequence[Any] = ()) -> List[Dict[str, Any]]:
+        """Convenience: execute and return rows as dicts."""
+        return self.execute(sql, params).dicts()
+
+    def executemany(
+        self, sql: str, parameter_sets: Sequence[Sequence[Any]]
+    ) -> int:
+        """Execute one parameterized statement per parameter set inside a
+        single transaction; returns the total rowcount."""
+        own_transaction = self._txn is None
+        if own_transaction:
+            self.begin()
+        total = 0
+        try:
+            for params in parameter_sets:
+                total += self.execute(sql, params).rowcount
+        except Exception:
+            if own_transaction and self._txn is not None:
+                self.rollback()
+            raise
+        if own_transaction:
+            self.commit()
+        return total
+
+    def explain(self, sql: str, params: Sequence[Any] = ()) -> List[str]:
+        """Describe the plan the executor would choose (no execution)."""
+        statement = parse(sql)
+
+        def table_provider(name: str) -> Table:
+            # No transaction needed: EXPLAIN only touches the catalog.
+            return Table(self.catalog.table(name), None, self.indexes)
+
+        executor = StatementExecutor(table_provider, params)
+        return executor.explain(statement)
+
+    # -- table handles for power users --------------------------------------------------
+
+    def table(self, name: str) -> Table:
+        """Record-level handle bound to the session's open transaction."""
+        if self._txn is None:
+            raise InvalidState("open a transaction before using table handles")
+        return Table(self.catalog.table(name), self._txn, self.indexes)
+
+    # -- internals -----------------------------------------------------------------------
+
+    def _execute_dml(
+        self, statement: ast.Statement, params: Sequence[Any]
+    ) -> ResultSet:
+        autocommit = self._txn is None
+        if autocommit:
+            txn = self.runner.run(self.pn.begin())
+        else:
+            txn = self._txn
+
+        def table_provider(name: str) -> Table:
+            return Table(self.catalog.table(name), txn, self.indexes)
+
+        executor = StatementExecutor(table_provider, params)
+        try:
+            if isinstance(statement, ast.Select):
+                result = self.runner.run(executor.select(statement))
+            elif isinstance(statement, ast.Insert):
+                result = self.runner.run(executor.insert(statement))
+            elif isinstance(statement, ast.Update):
+                result = self.runner.run(executor.update(statement))
+            elif isinstance(statement, ast.Delete):
+                result = self.runner.run(executor.delete(statement))
+            else:
+                raise SqlPlanError(f"unsupported statement {statement!r}")
+        except Exception:
+            if autocommit:
+                try:
+                    self.runner.run(txn.abort())
+                except Exception:
+                    pass
+                self.pn.stats.aborted += 1
+            raise
+        if autocommit:
+            try:
+                self.runner.run(txn.commit())
+                self.pn.stats.committed += 1
+            except TransactionAborted:
+                self.pn.stats.aborted += 1
+                raise
+        return result
+
+    def _execute_ddl(self, statement: ast.Statement) -> ResultSet:
+        self.refresh_catalog()
+        catalog = self._catalog
+        assert catalog is not None
+        if isinstance(statement, ast.CreateTable):
+            columns = [
+                Column(
+                    clause.name,
+                    ColumnType.from_sql(clause.type_name),
+                    nullable=clause.nullable,
+                    default=clause.default,
+                )
+                for clause in statement.columns
+            ]
+            schema = catalog.define_table(
+                statement.name, columns, statement.primary_key
+            )
+            unique_indexes = [
+                catalog.define_index(
+                    f"{schema.name}_{clause.name}_unique", schema.name,
+                    [clause.name], unique=True,
+                )
+                for clause in statement.columns
+                if clause.unique and [clause.name] != list(schema.primary_key)
+            ]
+            self.runner.run(catalog.save_if_version(self._catalog_version))
+            self.runner.run(self.indexes.create_storage(schema.primary_index))
+            for index in unique_indexes:
+                self.runner.run(self.indexes.create_storage(index))
+        elif isinstance(statement, ast.CreateIndex):
+            index = catalog.define_index(
+                statement.name, statement.table, statement.columns,
+                unique=statement.unique,
+            )
+            self.runner.run(catalog.save_if_version(self._catalog_version))
+            self.runner.run(self.indexes.create_storage(index))
+            self._backfill_index(catalog.table(statement.table), index.name)
+        elif isinstance(statement, ast.DropTable):
+            schema = catalog.drop_table(statement.name)
+            self.runner.run(catalog.save_if_version(self._catalog_version))
+            self.runner.run(_purge_table_data(schema))
+        else:
+            raise SqlPlanError(f"unsupported DDL {statement!r}")
+        self.refresh_catalog()
+        return ResultSet([], [], 0)
+
+    def _backfill_index(self, schema: TableSchema, index_name: str) -> None:
+        """Populate a freshly created index from existing rows."""
+        index = next(i for i in schema.indexes if i.name == index_name)
+        txn = self.runner.run(self.pn.begin())
+        table = Table(schema, txn, self.indexes)
+        rows = self.runner.run(table.scan())
+        tree = self.indexes.tree(index)
+        from repro.sql.keyenc import encode_key
+
+        for rid, row in rows:
+            key = encode_key(schema.index_key_of(index, row))
+            self.runner.run(tree.insert(key, rid, unique=index.unique))
+        self.runner.run(txn.commit())
+
+
+def _purge_table_data(schema: TableSchema) -> Generator:
+    """Remove a dropped table's record cells from the store."""
+    rows = yield effects.Scan(DATA_SPACE, (schema.table_id,), (schema.table_id + 1,))
+    for key, _record, _cell_version in rows:
+        yield effects.Delete(DATA_SPACE, key)

@@ -1,0 +1,375 @@
+"""Table handles: rows, primary/secondary index maintenance, entry GC.
+
+A :class:`Table` binds a table schema to a running transaction and offers
+record-level operations.  It encodes the paper's index discipline:
+
+* indexes are *version-unaware* (Section 5.3.2): one entry per record,
+  inserted only when the indexed key value appears, never on every
+  version;
+* entries are **not** removed when a row is deleted or its key changes --
+  older snapshots still reach old versions through them.  Instead, reads
+  garbage-collect entries once no surviving version carries the key
+  (``V_a \\ G = ∅``, Section 5.4);
+* a read through an index may fetch records that turn out invisible to
+  the snapshot; those reads are wasted but harmless, exactly as the paper
+  accepts.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, Iterable, List, Optional, Sequence, Tuple
+
+from repro import effects
+from repro.core.record import TOMBSTONE, VersionedRecord
+from repro.core.spaces import DATA_SPACE, data_key
+from repro.core.transaction import Transaction
+from repro.errors import DuplicateKey, KeyNotFound
+from repro.index.btree import MAX_RID, DistributedBTree
+from repro.sql.keyenc import ABOVE_ALL_RANK, encode_key
+from repro.sql.schema import IndexDef, TableSchema
+
+
+class IndexManager:
+    """Per-processing-node registry of B+tree handles (with their caches)."""
+
+    def __init__(self, max_entries: int = 64):
+        self.max_entries = max_entries
+        self._trees: Dict[int, DistributedBTree] = {}
+
+    def tree(self, index: IndexDef) -> DistributedBTree:
+        tree = self._trees.get(index.index_id)
+        if tree is None:
+            tree = DistributedBTree(index.index_id, max_entries=self.max_entries)
+            self._trees[index.index_id] = tree
+        return tree
+
+    def create_storage(self, index: IndexDef) -> Generator:
+        yield from self.tree(index).create()
+
+
+class Table:
+    """Row operations for one table inside one transaction."""
+
+    def __init__(
+        self,
+        schema: TableSchema,
+        txn: Transaction,
+        indexes: IndexManager,
+    ):
+        self.schema = schema
+        self.txn = txn
+        self.indexes = indexes
+
+    # -- writes -----------------------------------------------------------------
+
+    def insert(self, values: Dict[str, Any]) -> Generator:
+        """Insert a row; returns the allocated rid.
+
+        Unique indexes are pre-checked (with dead-entry GC) here and
+        enforced again at commit time by the B+tree itself, which catches
+        races between concurrent inserters.
+        """
+        row = self.schema.make_row(values)
+        for index in self.schema.indexes:
+            if index.unique:
+                yield from self._check_unique(index, row)
+        rid = yield from self.txn.pn.allocate_rid(self.schema.table_id)
+        self.txn.insert(data_key(self.schema.table_id, rid), row)
+        for index in self.schema.indexes:
+            key = encode_key(self.schema.index_key_of(index, row))
+            self.txn.index_ops.append(
+                ("insert", self.indexes.tree(index), key, rid, index.unique)
+            )
+        return rid
+
+    def update_by_rid(self, rid: int, changes: Dict[str, Any]) -> Generator:
+        """Apply column changes to the row at ``rid``."""
+        key = data_key(self.schema.table_id, rid)
+        current = yield from self.txn.read(key)
+        if current is None:
+            raise KeyNotFound(f"{self.schema.name}: rid {rid} not visible")
+        merged = self.schema.row_to_dict(current)
+        merged.update({name.lower(): value for name, value in changes.items()})
+        new_row = self.schema.make_row(merged)
+        yield from self.txn.update(key, new_row)
+        # Indexes: only keys that changed get a *new* entry; the old entry
+        # stays until GC because older versions remain reachable via it.
+        for index in self.schema.indexes:
+            old_key = self.schema.index_key_of(index, current)
+            new_key = self.schema.index_key_of(index, new_row)
+            if old_key != new_key:
+                if index.unique:
+                    yield from self._check_unique(index, new_row)
+                self.txn.index_ops.append(
+                    ("insert", self.indexes.tree(index), encode_key(new_key),
+                     rid, index.unique)
+                )
+        return new_row
+
+    def delete_by_rid(self, rid: int) -> Generator:
+        """Delete the row (tombstone version; index entries stay for GC)."""
+        key = data_key(self.schema.table_id, rid)
+        yield from self.txn.delete(key)
+
+    # -- point reads ---------------------------------------------------------------
+
+    def get(self, pk: Sequence[Any]) -> Generator:
+        """Row with the given primary key, or None.  Returns (rid, row)."""
+        matches = yield from self.lookup(self.schema.primary_index, tuple(pk))
+        if not matches:
+            return None
+        return matches[0]
+
+    def get_many(self, pks: Sequence[Sequence[Any]]) -> Generator:
+        """Batched point lookups by primary key: one batched leaf fetch
+        plus one batched record fetch (Tell's request batching).
+
+        Returns ``{pk: (rid, row) or None}``.
+        """
+        index = self.schema.primary_index
+        tree = self.indexes.tree(index)
+        pk_tuples = [tuple(pk) for pk in pks]
+        encoded = {pk: encode_key(pk) for pk in pk_tuples}
+        rid_map = yield from tree.lookup_many(
+            [encoded[pk] for pk in pk_tuples]
+        )
+        storage_keys = []
+        for pk in pk_tuples:
+            for rid in rid_map[encoded[pk]]:
+                storage_keys.append(data_key(self.schema.table_id, rid))
+        rows = (yield from self.txn.read_many(storage_keys)) if storage_keys else {}
+        local = self._local_rows()
+        result: Dict[Tuple[Any, ...], Optional[Tuple[int, Tuple[Any, ...]]]] = {}
+        for pk in pk_tuples:
+            match = None
+            for rid in rid_map[encoded[pk]]:
+                row = rows.get(data_key(self.schema.table_id, rid))
+                if row is not None and self.schema.key_of(row) == pk:
+                    match = (rid, row)
+                    break
+            if match is None:
+                for rid, row in local:
+                    if self.schema.key_of(row) == pk:
+                        match = (rid, row)
+                        break
+            result[pk] = match
+        return result
+
+    def get_for_update(self, pk: Sequence[Any]) -> Generator:
+        """Point lookup that must succeed, priming the row for an update.
+
+        The row is expected to be written by the caller before commit; if
+        a strict SELECT FOR UPDATE (conflict even without a subsequent
+        write) is wanted, use :meth:`lock` instead.
+        """
+        result = yield from self.get(pk)
+        if result is None:
+            raise KeyNotFound(f"{self.schema.name}: key {tuple(pk)!r} not found")
+        return result
+
+    def lock(self, pk: Sequence[Any]) -> Generator:
+        """SELECT FOR UPDATE: read the row and materialize the read as a
+        write so concurrent writers conflict (prevents write skew on this
+        row).  Returns (rid, row); raises KeyNotFound when absent."""
+        result = yield from self.get(pk)
+        if result is None:
+            raise KeyNotFound(f"{self.schema.name}: key {tuple(pk)!r} not found")
+        rid, row = result
+        yield from self.txn.read_for_update(data_key(self.schema.table_id, rid))
+        return result
+
+    def lookup(
+        self, index: IndexDef, key: Tuple[Any, ...]
+    ) -> Generator:
+        """All visible rows whose ``index`` columns equal ``key``.
+
+        Returns ``[(rid, row), ...]``.  Stale entries (pointing at records
+        where no version carries the key any more) are garbage collected
+        on the way, implementing the read-side index GC of Section 5.4.
+        """
+        tree = self.indexes.tree(index)
+        encoded = encode_key(key)
+        entries = yield from tree.range_entries((encoded,), (encoded, MAX_RID))
+        rids = [entry[1] for entry in entries]
+        results: List[Tuple[int, Tuple[Any, ...]]] = []
+        if rids:
+            keys = [data_key(self.schema.table_id, rid) for rid in rids]
+            rows = yield from self.txn.read_many(keys)
+            for rid, storage_key in zip(rids, keys):
+                row = rows[storage_key]
+                if row is not None and self.schema.index_key_of(index, row) == key:
+                    results.append((rid, row))
+                else:
+                    yield from self._maybe_gc_entry(tree, index, key, rid)
+        # Merge this transaction's own uncommitted inserts/updates, which
+        # are not in the shared index yet.
+        for rid, row in self._local_rows():
+            if self.schema.index_key_of(index, row) == key:
+                if all(existing_rid != rid for existing_rid, _ in results):
+                    results.append((rid, row))
+        results.sort(key=lambda pair: pair[0])
+        return results
+
+    # -- scans -----------------------------------------------------------------------
+
+    def scan(self, pushdown: Optional["ScanFilter"] = None) -> Generator:
+        """Full table scan; returns [(rid, row)] visible to the snapshot.
+
+        With ``pushdown``, selection is executed *inside* the storage
+        nodes (Section 5.2): each node resolves the snapshot-visible
+        version and ships only matching rows, cutting response bandwidth
+        for selective analytical queries.
+        """
+        if pushdown is None:
+            rows = yield effects.Scan(
+                DATA_SPACE, (self.schema.table_id,), (self.schema.table_id + 1,)
+            )
+        else:
+            rows = yield effects.Scan(
+                DATA_SPACE, (self.schema.table_id,), (self.schema.table_id + 1,),
+                snapshot=self.txn.snapshot, scan_filter=pushdown,
+            )
+        visible: List[Tuple[int, Tuple[Any, ...]]] = []
+        local = dict(self._local_rows())
+        deleted = self._locally_deleted_rids()
+        for (table_id, rid), value, _cell_version in rows:
+            if rid in local or rid in deleted:
+                continue  # superseded by the transaction-local state
+            if pushdown is None:
+                version = value.latest_visible(self.txn.snapshot)
+                if version is not None and not version.is_tombstone:
+                    visible.append((rid, version.payload))
+            else:
+                visible.append((rid, value))  # already resolved at the SN
+        for rid, row in local.items():
+            if pushdown is None or pushdown.matches(row):
+                visible.append((rid, row))
+        visible.sort(key=lambda pair: pair[0])
+        return visible
+
+    def make_filter(
+        self, conjuncts: Sequence[Tuple[str, str, Any]]
+    ) -> "ScanFilter":
+        """Build a storage-side filter from (column, op, constant) triples."""
+        from repro.store.pushdown import ScanFilter
+
+        return ScanFilter([
+            (self.schema.position(column), op, value)
+            for column, op, value in conjuncts
+        ])
+
+    def index_range(
+        self,
+        index: IndexDef,
+        low: Optional[Tuple[Any, ...]],
+        high: Optional[Tuple[Any, ...]],
+        include_high: bool = False,
+        limit: Optional[int] = None,
+    ) -> Generator:
+        """Rows whose index key lies in [low, high) (or (..] with
+        ``include_high``); returns [(rid, row)] in index order."""
+        tree = self.indexes.tree(index)
+        low_entry = (encode_key(low),) if low is not None else ((),)
+        if high is None:
+            high_entry = None
+        elif include_high:
+            # Inclusive bounds may be key *prefixes* (e.g. the first two
+            # columns of a three-column index): extend the bound with a
+            # component above every real encoded component so that all
+            # longer keys sharing the prefix are covered.
+            high_entry = (encode_key(high) + ((ABOVE_ALL_RANK,),),)
+        else:
+            high_entry = (encode_key(high),)
+        entries = yield from tree.range_entries(low_entry, high_entry, limit=None)
+        results: List[Tuple[int, Tuple[Any, ...]]] = []
+        if entries:
+            keys = [data_key(self.schema.table_id, entry[1]) for entry in entries]
+            rows = yield from self.txn.read_many(keys)
+            for entry, storage_key in zip(entries, keys):
+                row = rows[storage_key]
+                if row is not None and encode_key(
+                    self.schema.index_key_of(index, row)
+                ) == entry[0]:
+                    results.append((entry[1], row))
+                    if limit is not None and len(results) >= limit:
+                        break
+        low_enc = encode_key(low) if low is not None else None
+        high_enc = encode_key(high) if high is not None else None
+        for rid, row in self._local_rows():
+            row_key = encode_key(self.schema.index_key_of(index, row))
+            in_low = low_enc is None or row_key >= low_enc
+            if high_enc is None:
+                in_high = True
+            elif include_high:
+                # Prefix-aware inclusive bound: compare the truncation.
+                in_high = row_key[: len(high_enc)] <= high_enc
+            else:
+                in_high = row_key < high_enc
+            if in_low and in_high and all(r != rid for r, _ in results):
+                results.append((rid, row))
+        results.sort(
+            key=lambda pair: (
+                encode_key(self.schema.index_key_of(index, pair[1])), pair[0]
+            )
+        )
+        if limit is not None:
+            results = results[:limit]
+        return results
+
+    # -- internals ---------------------------------------------------------------------
+
+    def _local_rows(self) -> List[Tuple[int, Tuple[Any, ...]]]:
+        """Rows written by this transaction (insert/update), excluding
+        deletes; used to make a transaction read its own writes through
+        table access paths."""
+        rows = []
+        for key, payload in self.txn.local_writes().items():
+            table_id, rid = key
+            if table_id == self.schema.table_id and payload is not TOMBSTONE:
+                rows.append((rid, payload))
+        return rows
+
+    def _locally_deleted_rids(self) -> set:
+        return {
+            rid
+            for (table_id, rid), payload in self.txn.local_writes().items()
+            if table_id == self.schema.table_id and payload is TOMBSTONE
+        }
+
+    def _check_unique(self, index: IndexDef, row: Tuple[Any, ...]) -> Generator:
+        """DuplicateKey if a live row already holds the unique key; dead
+        index entries found on the way are collected."""
+        key = self.schema.index_key_of(index, row)
+        matches = yield from self.lookup(index, key)
+        for rid, existing in matches:
+            if existing is not row:
+                raise DuplicateKey(
+                    f"{self.schema.name}: duplicate key {key!r} on {index.name}"
+                )
+
+    def _maybe_gc_entry(
+        self,
+        tree: DistributedBTree,
+        index: IndexDef,
+        key: Tuple[Any, ...],
+        rid: int,
+    ) -> Generator:
+        """Read-side index GC: remove the entry if no version of the
+        record (that any active transaction could still see) carries the
+        indexed key, i.e. V_a \\ G = ∅."""
+        storage_key = data_key(self.schema.table_id, rid)
+        record, _cell_version = yield effects.Get(DATA_SPACE, storage_key)
+        if record is not None and self._key_still_referenced(record, index, key):
+            return
+        yield from tree.delete(encode_key(key), rid)
+
+    def _key_still_referenced(
+        self, record: VersionedRecord, index: IndexDef, key: Tuple[Any, ...]
+    ) -> bool:
+        surviving = record.collect_garbage(self.txn.lav)
+        for version in surviving.versions:
+            if version.is_tombstone:
+                continue
+            if self.schema.index_key_of(index, version.payload) == key:
+                return True
+        return False

@@ -1,0 +1,84 @@
+"""Column types and value coercion for the relational layer."""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Optional
+
+from repro.errors import SchemaError
+
+
+class ColumnType(enum.Enum):
+    """The SQL types the reproduction supports (enough for TPC-C)."""
+
+    INT = "int"
+    BIGINT = "bigint"
+    FLOAT = "float"
+    DECIMAL = "decimal"   # stored as float; TPC-C money columns
+    TEXT = "text"
+    BOOL = "bool"
+    TIMESTAMP = "timestamp"  # stored as float seconds
+
+    @classmethod
+    def from_sql(cls, name: str) -> "ColumnType":
+        normalized = name.strip().upper()
+        aliases = {
+            "INT": cls.INT,
+            "INTEGER": cls.INT,
+            "SMALLINT": cls.INT,
+            "BIGINT": cls.BIGINT,
+            "FLOAT": cls.FLOAT,
+            "REAL": cls.FLOAT,
+            "DOUBLE": cls.FLOAT,
+            "DECIMAL": cls.DECIMAL,
+            "NUMERIC": cls.DECIMAL,
+            "TEXT": cls.TEXT,
+            "VARCHAR": cls.TEXT,
+            "CHAR": cls.TEXT,
+            "STRING": cls.TEXT,
+            "BOOL": cls.BOOL,
+            "BOOLEAN": cls.BOOL,
+            "TIMESTAMP": cls.TIMESTAMP,
+            "DATETIME": cls.TIMESTAMP,
+        }
+        base = normalized.split("(")[0].strip()
+        try:
+            return aliases[base]
+        except KeyError:
+            raise SchemaError(f"unsupported column type {name!r}")
+
+
+def coerce(value: Any, column_type: ColumnType, column_name: str = "?") -> Any:
+    """Validate/convert ``value`` for storage in a column.
+
+    ``None`` passes through (nullability is checked separately).
+    """
+    if value is None:
+        return None
+    if column_type in (ColumnType.INT, ColumnType.BIGINT):
+        if isinstance(value, bool) or not isinstance(value, int):
+            if isinstance(value, float) and value.is_integer():
+                return int(value)
+            raise SchemaError(
+                f"column {column_name}: expected integer, got {value!r}"
+            )
+        return value
+    if column_type in (ColumnType.FLOAT, ColumnType.DECIMAL, ColumnType.TIMESTAMP):
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise SchemaError(
+                f"column {column_name}: expected numeric, got {value!r}"
+            )
+        return float(value)
+    if column_type is ColumnType.TEXT:
+        if not isinstance(value, str):
+            raise SchemaError(
+                f"column {column_name}: expected text, got {value!r}"
+            )
+        return value
+    if column_type is ColumnType.BOOL:
+        if not isinstance(value, bool):
+            raise SchemaError(
+                f"column {column_name}: expected bool, got {value!r}"
+            )
+        return value
+    raise SchemaError(f"unknown column type {column_type!r}")

@@ -1,0 +1,24 @@
+"""Shared storage substrate: a replicated in-memory record store.
+
+This package plays the role RAMCloud plays for Tell in the paper: a
+strongly consistent, in-memory key-value store with atomic get/put,
+LL/SC conditional writes, range/hash partitioning across storage nodes,
+synchronous replication for fault tolerance, and a management node that
+detects failures and fails partitions over to replicas.
+"""
+
+from repro.store.cell import Cell, approx_size
+from repro.store.node import StorageNode
+from repro.store.partition import HashPartitioner, PartitionMap
+from repro.store.cluster import StorageCluster
+from repro.store.management import ManagementNode
+
+__all__ = [
+    "Cell",
+    "HashPartitioner",
+    "ManagementNode",
+    "PartitionMap",
+    "StorageCluster",
+    "StorageNode",
+    "approx_size",
+]

@@ -1,0 +1,58 @@
+"""Cells: the unit of storage, and payload size estimation.
+
+A cell holds an opaque value plus a *cell version* -- a counter that
+increases on every write to the cell.  The cell version is the load-link
+token: a ``PutIfVersion`` succeeds only when the cell version still equals
+the version observed by the earlier ``Get``.  Because the counter is
+monotonic, a value that was changed and changed back still fails the
+conditional write, which is exactly the ABA immunity the paper requires of
+LL/SC (Section 4.1).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+class Cell:
+    """One key's stored value and its write-stamp."""
+
+    __slots__ = ("value", "version")
+
+    def __init__(self, value: Any, version: int):
+        self.value = value
+        self.version = version
+
+    def __repr__(self) -> str:
+        return f"Cell(v{self.version}, {self.value!r})"
+
+
+def approx_size(value: Any) -> int:
+    """Estimate the serialized size of ``value`` in bytes.
+
+    The simulator charges bandwidth by message size; an estimate within a
+    factor of two is plenty.  Objects can opt in to an exact answer by
+    defining ``approx_size()`` (records and index nodes do).
+    """
+    if value is None:
+        return 1
+    method = getattr(value, "approx_size", None)
+    if method is not None:
+        return method()
+    if isinstance(value, bool):
+        return 1
+    if isinstance(value, int):
+        return 8
+    if isinstance(value, float):
+        return 8
+    if isinstance(value, (bytes, bytearray)):
+        return len(value)
+    if isinstance(value, str):
+        return len(value)
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return 8 + sum(approx_size(item) for item in value)
+    if isinstance(value, dict):
+        return 8 + sum(
+            approx_size(k) + approx_size(v) for k, v in value.items()
+        )
+    return 64

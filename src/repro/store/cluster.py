@@ -1,0 +1,211 @@
+"""The distributed storage system: routing, execution, replication.
+
+:class:`StorageCluster` wires storage nodes, the partition map, and the
+hash partitioner into the "distributed record store" of the paper's
+architecture (Figure 3).  It executes the storage requests defined in
+:mod:`repro.effects`:
+
+* single-key operations run on the partition's *master* replica and, when
+  they modify state, are synchronously copied to the backups before the
+  request is acknowledged (in-memory storage must replicate synchronously
+  to be durable, Section 4.4.2);
+* scans fan out to every master holding a slice of the space;
+* batches group single-key operations into one round trip.
+
+Under the direct runner the cluster executes requests itself via
+:meth:`execute`.  The simulation driver instead uses :meth:`routing` to
+learn which node serves a request and :meth:`apply` to run it at the right
+simulated instant.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro import effects
+from repro.errors import InvalidState, NodeUnavailable
+from repro.store.node import StorageNode
+from repro.store.partition import HashPartitioner, PartitionMap
+
+
+class OpRouting:
+    """Where a request executes: partition id and master node id."""
+
+    __slots__ = ("partition_id", "node_id", "is_write")
+
+    def __init__(self, partition_id: int, node_id: int, is_write: bool):
+        self.partition_id = partition_id
+        self.node_id = node_id
+        self.is_write = is_write
+
+
+_WRITE_OPS = (
+    effects.Put,
+    effects.PutIfVersion,
+    effects.Delete,
+    effects.DeleteIfVersion,
+    effects.Increment,
+)
+
+
+class StorageCluster:
+    """A set of storage nodes behind a partition map."""
+
+    def __init__(
+        self,
+        n_nodes: int,
+        replication_factor: int = 1,
+        partitions_per_node: int = 8,
+        capacity_bytes: Optional[int] = None,
+        service_us_read: float = 1.2,
+        service_us_write: float = 1.8,
+    ):
+        if n_nodes < 1:
+            raise InvalidState("need at least one storage node")
+        self.replication_factor = replication_factor
+        self.nodes: Dict[int, StorageNode] = {
+            node_id: StorageNode(
+                node_id,
+                capacity_bytes=capacity_bytes,
+                service_us_read=service_us_read,
+                service_us_write=service_us_write,
+            )
+            for node_id in range(n_nodes)
+        }
+        n_partitions = n_nodes * partitions_per_node
+        self.partitioner = HashPartitioner(n_partitions)
+        self.partition_map = PartitionMap(
+            n_partitions, list(self.nodes.keys()), replication_factor
+        )
+        for partition_id in range(n_partitions):
+            for node_id in self.partition_map.replicas_of(partition_id):
+                self.nodes[node_id].host_partition(partition_id)
+
+    # -- routing -----------------------------------------------------------
+
+    def partition_of(self, key: Any) -> int:
+        return self.partitioner.partition_of(key)
+
+    def master_node(self, partition_id: int) -> StorageNode:
+        node = self.nodes[self.partition_map.master_of(partition_id)]
+        if not node.alive:
+            raise NodeUnavailable(
+                f"master of partition {partition_id} (node {node.node_id}) is down"
+            )
+        return node
+
+    def routing(self, op: effects.StoreRequest) -> OpRouting:
+        """Routing decision for one single-key request."""
+        partition_id = self.partition_of(op.key)
+        master = self.partition_map.master_of(partition_id)
+        return OpRouting(partition_id, master, isinstance(op, _WRITE_OPS))
+
+    def scan_routing(self, op: effects.Scan) -> List[Tuple[int, int]]:
+        """(partition_id, master_node_id) pairs a scan must visit."""
+        return [
+            (pid, self.partition_map.master_of(pid))
+            for pid in range(self.partitioner.n_partitions)
+        ]
+
+    # -- execution -----------------------------------------------------------
+
+    def execute(self, op: effects.Request) -> Any:
+        """Execute a request synchronously (direct mode)."""
+        if isinstance(op, effects.Batch):
+            return [self.execute(sub) for sub in op.ops]
+        if isinstance(op, effects.Scan):
+            return self.execute_scan(op)
+        routing = self.routing(op)
+        result, _size = self.apply(op, routing.partition_id, routing.node_id)
+        if routing.is_write:
+            self.replicate(op, routing.partition_id)
+        return result
+
+    def apply(
+        self, op: effects.StoreRequest, partition_id: int, node_id: int
+    ) -> Tuple[Any, int]:
+        """Run a single-key op on one node.  Returns (result, resp_size)."""
+        node = self.nodes[node_id]
+        if isinstance(op, effects.Get):
+            return node.do_get(partition_id, op.space, op.key)
+        if isinstance(op, effects.PutIfVersion):
+            return node.do_put_if_version(
+                partition_id, op.space, op.key, op.value, op.expected_version
+            )
+        if isinstance(op, effects.Put):
+            return node.do_put(partition_id, op.space, op.key, op.value)
+        if isinstance(op, effects.Delete):
+            return node.do_delete(partition_id, op.space, op.key)
+        if isinstance(op, effects.DeleteIfVersion):
+            return node.do_delete_if_version(
+                partition_id, op.space, op.key, op.expected_version
+            )
+        if isinstance(op, effects.Increment):
+            return node.do_increment(partition_id, op.space, op.key, op.delta)
+        raise TypeError(f"not a single-key storage op: {op!r}")
+
+    def execute_scan(self, op: effects.Scan) -> List[Tuple[Any, Any, int]]:
+        """Scan every partition and merge the sorted slices."""
+        rows: List[Tuple[Any, Any, int]] = []
+        for partition_id, node_id in self.scan_routing(op):
+            node = self.nodes[node_id]
+            if not node.alive:
+                raise NodeUnavailable(f"storage node {node_id} is down")
+            slice_rows, _ = node.do_scan(
+                partition_id, op.space, op.start, op.end, op.limit,
+                snapshot=op.snapshot, scan_filter=op.scan_filter,
+                projection=op.projection,
+            )
+            rows.extend(slice_rows)
+        rows.sort(key=lambda row: row[0])
+        if op.limit is not None:
+            rows = rows[: op.limit]
+        return rows
+
+    # -- replication -----------------------------------------------------------
+
+    def replicate(self, op: effects.StoreRequest, partition_id: int) -> None:
+        """Synchronously copy the op's cell to every backup replica.
+
+        Mirrors RAMCloud's behaviour: the master acknowledges a write only
+        after the backups hold it.  Timing is accounted by the simulation
+        driver; here we only install the state.
+        """
+        backups = self.partition_map.backups_of(partition_id)
+        if not backups:
+            return
+        master = self.nodes[self.partition_map.master_of(partition_id)]
+        cells = master.partition(partition_id).space(op.space)
+        cell = cells.get(op.key)
+        for backup_id in backups:
+            backup = self.nodes[backup_id]
+            if backup.alive:
+                backup.copy_cell(partition_id, op.space, op.key, cell)
+
+    # -- sizing (used by the simulation driver) --------------------------------
+
+    def request_size(self, op: effects.StoreRequest) -> int:
+        from repro.store.cell import approx_size
+
+        base = 24 + approx_size(op.key)
+        if isinstance(op, (effects.Put, effects.PutIfVersion)):
+            return base + approx_size(op.value)
+        return base
+
+    # -- introspection -----------------------------------------------------------
+
+    def live_nodes(self) -> List[int]:
+        return [node_id for node_id, node in self.nodes.items() if node.alive]
+
+    def total_bytes(self) -> int:
+        return sum(node.bytes_used for node in self.nodes.values())
+
+    def add_node(
+        self, capacity_bytes: Optional[int] = None
+    ) -> StorageNode:
+        """Elasticity: attach a fresh, empty storage node."""
+        node_id = max(self.nodes.keys()) + 1
+        node = StorageNode(node_id, capacity_bytes=capacity_bytes)
+        self.nodes[node_id] = node
+        self.partition_map.node_ids.append(node_id)
+        return node

@@ -1,0 +1,313 @@
+"""A single storage node (SN): partition-local state and op execution.
+
+A storage node owns a set of partitions.  For each partition it keeps, per
+*space* (a namespace such as ``data``, ``index``, ``txlog``, ``meta``), a
+plain dict of key -> :class:`Cell` plus a sorted-key cache used by scans.
+
+All operations on a node are atomic with respect to each other: under the
+direct runner they execute synchronously, and under the simulator every
+operation executes at a single event timestamp, which models the
+linearizable single-key operations RAMCloud provides.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import KeyNotFound, NoCapacity, NodeUnavailable
+from repro.store.cell import Cell, approx_size
+
+SpaceDict = Dict[Any, Cell]
+
+
+class PartitionStore:
+    """Data for one partition hosted by a node (master or backup copy)."""
+
+    __slots__ = ("partition_id", "spaces", "_sorted_keys", "bytes_used")
+
+    def __init__(self, partition_id: int):
+        self.partition_id = partition_id
+        self.spaces: Dict[str, SpaceDict] = {}
+        # sorted key list per space, rebuilt lazily for scans
+        self._sorted_keys: Dict[str, Optional[List[Any]]] = {}
+        self.bytes_used = 0
+
+    def space(self, name: str) -> SpaceDict:
+        existing = self.spaces.get(name)
+        if existing is None:
+            existing = {}
+            self.spaces[name] = existing
+            self._sorted_keys[name] = None
+        return existing
+
+    def invalidate_scan_cache(self, space_name: str) -> None:
+        self._sorted_keys[space_name] = None
+
+    def sorted_keys(self, space_name: str) -> List[Any]:
+        cached = self._sorted_keys.get(space_name)
+        if cached is None:
+            cached = sorted(self.space(space_name).keys())
+            self._sorted_keys[space_name] = cached
+        return cached
+
+
+class StorageNode:
+    """One storage server with its hosted partitions and capacity limit."""
+
+    def __init__(
+        self,
+        node_id: int,
+        capacity_bytes: Optional[int] = None,
+        service_us_read: float = 1.2,
+        service_us_write: float = 1.8,
+    ):
+        self.node_id = node_id
+        self.capacity_bytes = capacity_bytes
+        self.service_us_read = service_us_read
+        self.service_us_write = service_us_write
+        self.alive = True
+        self.partitions: Dict[int, PartitionStore] = {}
+        self.bytes_used = 0
+        # simulation bookkeeping: per-worker availability (set by sim driver)
+        self.sim_state: Dict[str, Any] = {}
+
+    # -- partition hosting -------------------------------------------------
+
+    def host_partition(self, partition_id: int) -> PartitionStore:
+        store = self.partitions.get(partition_id)
+        if store is None:
+            store = PartitionStore(partition_id)
+            self.partitions[partition_id] = store
+        return store
+
+    def drop_partition(self, partition_id: int) -> None:
+        store = self.partitions.pop(partition_id, None)
+        if store is not None:
+            self.bytes_used -= store.bytes_used
+
+    def partition(self, partition_id: int) -> PartitionStore:
+        try:
+            return self.partitions[partition_id]
+        except KeyError:
+            raise KeyNotFound(
+                f"node {self.node_id} does not host partition {partition_id}"
+            )
+
+    # -- failure -----------------------------------------------------------
+
+    def crash(self) -> None:
+        """Simulate a crash-stop failure: data is volatile and lost."""
+        self.alive = False
+        self.partitions = {}
+        self.bytes_used = 0
+
+    def restart(self) -> None:
+        """Bring the node back empty; the management node must re-add it."""
+        self.alive = True
+
+    def _check_alive(self) -> None:
+        if not self.alive:
+            raise NodeUnavailable(f"storage node {self.node_id} is down")
+
+    # -- operations ----------------------------------------------------------
+    # Each returns (result, response_size_estimate, is_write).
+
+    def do_get(self, partition_id: int, space: str, key: Any) -> Tuple[Any, int]:
+        self._check_alive()
+        cell = self.partition(partition_id).space(space).get(key)
+        if cell is None:
+            return (None, 0), 8
+        return (cell.value, cell.version), 16 + approx_size(cell.value)
+
+    def do_put(
+        self, partition_id: int, space: str, key: Any, value: Any
+    ) -> Tuple[int, int]:
+        self._check_alive()
+        store = self.partition(partition_id)
+        cells = store.space(space)
+        cell = cells.get(key)
+        new_size = approx_size(value) + approx_size(key)
+        if cell is None:
+            self._charge(store, new_size)
+            cells[key] = Cell(value, 1)
+            store.invalidate_scan_cache(space)
+            return 1, 16
+        old_size = approx_size(cell.value) + approx_size(key)
+        self._charge(store, new_size - old_size)
+        cell.value = value
+        cell.version += 1
+        return cell.version, 16
+
+    def do_put_if_version(
+        self,
+        partition_id: int,
+        space: str,
+        key: Any,
+        value: Any,
+        expected_version: int,
+    ) -> Tuple[Tuple[bool, int], int]:
+        """Store-conditional: apply only if the cell version matches."""
+        self._check_alive()
+        store = self.partition(partition_id)
+        cells = store.space(space)
+        cell = cells.get(key)
+        current = 0 if cell is None else cell.version
+        if current != expected_version:
+            return (False, current), 16
+        if cell is None:
+            self._charge(store, approx_size(value) + approx_size(key))
+            cells[key] = Cell(value, 1)
+            store.invalidate_scan_cache(space)
+            return (True, 1), 16
+        self._charge(store, approx_size(value) - approx_size(cell.value))
+        cell.value = value
+        cell.version += 1
+        return (True, cell.version), 16
+
+    def do_delete(self, partition_id: int, space: str, key: Any) -> Tuple[bool, int]:
+        self._check_alive()
+        store = self.partition(partition_id)
+        cells = store.space(space)
+        cell = cells.pop(key, None)
+        if cell is None:
+            return False, 8
+        self._charge(store, -(approx_size(cell.value) + approx_size(key)))
+        store.invalidate_scan_cache(space)
+        return True, 8
+
+    def do_delete_if_version(
+        self, partition_id: int, space: str, key: Any, expected_version: int
+    ) -> Tuple[Tuple[bool, int], int]:
+        self._check_alive()
+        store = self.partition(partition_id)
+        cells = store.space(space)
+        cell = cells.get(key)
+        current = 0 if cell is None else cell.version
+        if current != expected_version or cell is None:
+            return (False, current), 8
+        del cells[key]
+        self._charge(store, -(approx_size(cell.value) + approx_size(key)))
+        store.invalidate_scan_cache(space)
+        return (True, current), 8
+
+    def do_increment(
+        self, partition_id: int, space: str, key: Any, delta: int
+    ) -> Tuple[int, int]:
+        self._check_alive()
+        store = self.partition(partition_id)
+        cells = store.space(space)
+        cell = cells.get(key)
+        if cell is None:
+            self._charge(store, 16)
+            cells[key] = Cell(delta, 1)
+            store.invalidate_scan_cache(space)
+            return delta, 16
+        cell.value += delta
+        cell.version += 1
+        return cell.value, 16
+
+    def do_scan(
+        self,
+        partition_id: int,
+        space: str,
+        start: Any,
+        end: Any,
+        limit: Optional[int],
+        snapshot: Any = None,
+        scan_filter: Any = None,
+        projection: Any = None,
+    ) -> Tuple[List[Tuple[Any, Any, int]], int]:
+        """Partition-local range scan: start <= key < end, sorted.
+
+        With ``snapshot``, the node resolves the visible version of every
+        record and ships payload rows (optionally filtered/projected) --
+        the storage-side operator push-down of Section 5.2.
+        """
+        self._check_alive()
+        store = self.partition(partition_id)
+        cells = store.space(space)
+        keys = store.sorted_keys(space)
+        lo = 0 if start is None else bisect.bisect_left(keys, start)
+        hi = len(keys) if end is None else bisect.bisect_left(keys, end)
+        out: List[Tuple[Any, Any, int]] = []
+        size = 8
+        for key in keys[lo:hi]:
+            cell = cells.get(key)
+            if cell is None:
+                continue
+            if snapshot is None:
+                out.append((key, cell.value, cell.version))
+                size += 16 + approx_size(cell.value)
+            else:
+                version = cell.value.latest_visible(snapshot)
+                if version is None or version.is_tombstone:
+                    continue
+                row = version.payload
+                if scan_filter is not None and not scan_filter.matches(row):
+                    continue
+                if projection is not None:
+                    row = projection.apply(row)
+                out.append((key, row, cell.version))
+                size += 16 + approx_size(row)
+            if limit is not None and len(out) >= limit:
+                break
+        return out, size
+
+    # -- replication support ------------------------------------------------
+
+    def copy_cell(self, partition_id: int, space: str, key: Any, cell: Optional[Cell]) -> None:
+        """Install a replica copy of a cell (None deletes)."""
+        self._check_alive()
+        store = self.host_partition(partition_id)
+        cells = store.space(space)
+        old = cells.get(key)
+        if old is not None:
+            self._charge(store, -(approx_size(old.value) + approx_size(key)))
+        if cell is None:
+            cells.pop(key, None)
+        else:
+            cells[key] = Cell(cell.value, cell.version)
+            self._charge(store, approx_size(cell.value) + approx_size(key))
+        store.invalidate_scan_cache(space)
+
+    def snapshot_partition(self, partition_id: int) -> PartitionStore:
+        """Deep copy a hosted partition (used to restore the replication
+        factor after a failure)."""
+        self._check_alive()
+        source = self.partition(partition_id)
+        clone = PartitionStore(partition_id)
+        for space_name, cells in source.spaces.items():
+            target = clone.space(space_name)
+            for key, cell in cells.items():
+                target[key] = Cell(cell.value, cell.version)
+        clone.bytes_used = source.bytes_used
+        return clone
+
+    def install_partition(self, store: PartitionStore) -> None:
+        self._check_alive()
+        self.drop_partition(store.partition_id)
+        self.partitions[store.partition_id] = store
+        self.bytes_used += store.bytes_used
+
+    # -- internals -----------------------------------------------------------
+
+    def _charge(self, store: PartitionStore, delta: int) -> None:
+        if (
+            delta > 0
+            and self.capacity_bytes is not None
+            and self.bytes_used + delta > self.capacity_bytes
+        ):
+            raise NoCapacity(
+                f"storage node {self.node_id} full "
+                f"({self.bytes_used + delta} > {self.capacity_bytes} bytes)"
+            )
+        store.bytes_used += delta
+        self.bytes_used += delta
+
+    def __repr__(self) -> str:
+        state = "up" if self.alive else "down"
+        return (
+            f"<StorageNode {self.node_id} {state} "
+            f"{len(self.partitions)} partitions {self.bytes_used}B>"
+        )

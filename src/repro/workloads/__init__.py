@@ -1,0 +1,1 @@
+"""Workloads for the evaluation: TPC-C and its variants."""

@@ -1,0 +1,26 @@
+"""The TPC-C benchmark (Section 6.2).
+
+Full schema, population, and all five transactions, with the paper's
+modifications: terminals have no think/wait times, and two extra mixes
+exist besides the standard one -- a read-intensive mix (Table 2) and a
+"shardable" variant with all cross-warehouse accesses removed
+(Section 6.4).
+"""
+
+from repro.workloads.tpcc.mixes import (
+    READ_INTENSIVE_MIX,
+    SHARDABLE_MIX,
+    STANDARD_MIX,
+    TpccMix,
+)
+from repro.workloads.tpcc.params import TpccScale
+from repro.workloads.tpcc.schema import build_tpcc_catalog
+
+__all__ = [
+    "READ_INTENSIVE_MIX",
+    "SHARDABLE_MIX",
+    "STANDARD_MIX",
+    "TpccMix",
+    "TpccScale",
+    "build_tpcc_catalog",
+]

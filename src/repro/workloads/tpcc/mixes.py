@@ -1,0 +1,97 @@
+"""The workload mixes of Table 2 (plus the shardable variant of §6.4)."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+
+@dataclass(frozen=True)
+class TpccMix:
+    """A transaction mix: weights per transaction type.
+
+    ``throughput_metric`` is what the paper reports for the mix: "tpmc"
+    (new-order transactions per minute) for the standard mix, "tps"
+    (all transactions per second) for the read-intensive mix.
+    """
+
+    name: str
+    weights: Tuple[Tuple[str, float], ...]
+    remote_accesses: bool
+    throughput_metric: str
+
+    def pick(self, rng: random.Random) -> str:
+        total = sum(weight for _name, weight in self.weights)
+        roll = rng.uniform(0.0, total)
+        for txn_name, weight in self.weights:
+            roll -= weight
+            if roll <= 0.0:
+                return txn_name
+        return self.weights[-1][0]
+
+    @property
+    def write_ratio(self) -> float:
+        """Approximate fraction of *operations* that are writes, as in
+        Table 2 (35.84% standard, 4.89% read-intensive).
+
+        Derived from the average read/write op counts per transaction
+        type (spec profile with ~10 order lines per order).
+        """
+        reads_writes = {
+            # (avg rows read, avg rows written) per transaction, spec
+            # profile with ~10 order lines per order.  Stock-level reads
+            # the lines of the last 20 orders plus their stock rows.
+            "new_order": (36.0, 23.0),
+            "payment": (6.0, 4.0),
+            "order_status": (25.0, 0.0),
+            "delivery": (130.0, 130.0),
+            "stock_level": (400.0, 0.0),
+        }
+        reads = writes = 0.0
+        total_weight = sum(weight for _n, weight in self.weights)
+        for txn_name, weight in self.weights:
+            r, w = reads_writes[txn_name]
+            reads += weight / total_weight * r
+            writes += weight / total_weight * w
+        return writes / (reads + writes)
+
+
+#: The standard TPC-C mix (write-intensive; 45% new-order -> TpmC metric).
+STANDARD_MIX = TpccMix(
+    name="standard",
+    weights=(
+        ("new_order", 45.0),
+        ("payment", 43.0),
+        ("delivery", 4.0),
+        ("order_status", 4.0),
+        ("stock_level", 4.0),
+    ),
+    remote_accesses=True,
+    throughput_metric="tpmc",
+)
+
+#: The paper's read-intensive mix (Table 2): 95.11% read ratio.
+READ_INTENSIVE_MIX = TpccMix(
+    name="read-intensive",
+    weights=(
+        ("new_order", 9.0),
+        ("order_status", 84.0),
+        ("stock_level", 7.0),
+    ),
+    remote_accesses=True,
+    throughput_metric="tps",
+)
+
+#: TPC-C shardable (Section 6.4): remote new-order and payment accesses
+#: replaced by single-warehouse equivalents; ideal for partitioned systems.
+SHARDABLE_MIX = TpccMix(
+    name="shardable",
+    weights=STANDARD_MIX.weights,
+    remote_accesses=False,
+    throughput_metric="tpmc",
+)
+
+MIXES: Dict[str, TpccMix] = {
+    mix.name: mix for mix in (STANDARD_MIX, READ_INTENSIVE_MIX, SHARDABLE_MIX)
+}

@@ -1,0 +1,266 @@
+"""Parameter generation for TPC-C transactions.
+
+Implements the spec's random distributions (uniform, NURand, last-name
+syllables) scaled by :class:`TpccScale`, so small in-simulator databases
+keep the spec's access skew.  The remote-access probabilities (1 % remote
+new-order item, 15 % remote payment customer) are what make the standard
+mix hostile to partitioned databases -- the ``shardable`` variant of
+Section 6.4 sets them to zero.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+_SYLLABLES = (
+    "BAR", "OUGHT", "ABLE", "PRI", "PRES", "ESE", "ANTI", "CALLY", "ATION",
+    "EYING",
+)
+
+
+def last_name(number: int) -> str:
+    """Customer last name from the spec's syllable table."""
+    return (
+        _SYLLABLES[number // 100]
+        + _SYLLABLES[number // 10 % 10]
+        + _SYLLABLES[number % 10]
+    )
+
+
+@dataclass(frozen=True)
+class TpccScale:
+    """Database sizing.  ``spec()`` gives the standard numbers; the
+    scaled-down presets keep the *ratios* (hence the contention profile)
+    while fitting in simulator memory/time budgets."""
+
+    warehouses: int = 200
+    districts_per_warehouse: int = 10
+    customers_per_district: int = 3000
+    initial_orders_per_district: int = 3000
+    items: int = 100_000
+
+    @classmethod
+    def spec(cls, warehouses: int = 200) -> "TpccScale":
+        return cls(warehouses=warehouses)
+
+    @classmethod
+    def small(cls, warehouses: int = 8) -> "TpccScale":
+        """Bench-friendly sizing: ~5k rows per warehouse."""
+        return cls(
+            warehouses=warehouses,
+            districts_per_warehouse=10,
+            customers_per_district=120,
+            initial_orders_per_district=120,
+            items=1000,
+        )
+
+    @classmethod
+    def tiny(cls, warehouses: int = 2) -> "TpccScale":
+        """For unit tests."""
+        return cls(
+            warehouses=warehouses,
+            districts_per_warehouse=4,
+            customers_per_district=12,
+            initial_orders_per_district=12,
+            items=50,
+        )
+
+    @property
+    def c_id_a(self) -> int:
+        """NURand A constant for customer ids, scaled."""
+        return _nurand_a(self.customers_per_district)
+
+    @property
+    def item_a(self) -> int:
+        return _nurand_a(self.items)
+
+    @property
+    def name_range(self) -> int:
+        """Distinct last names in play: 1000 in spec, fewer when scaled."""
+        return min(1000, max(10, self.customers_per_district // 3))
+
+
+def _nurand_a(population: int) -> int:
+    """Largest 2^k - 1 not exceeding ~population/8 (spec uses 1023 for
+    3000 customers and 8191 for 100k items, preserving skew)."""
+    a = 1
+    while (a * 2 + 1) * 8 <= population * 8 // 3 + 7:
+        a = a * 2 + 1
+    return max(a, 15)
+
+
+class TpccRandom:
+    """Seeded random source with the spec's distributions."""
+
+    def __init__(self, scale: TpccScale, seed: int = 1):
+        self.scale = scale
+        self.rng = random.Random(seed)
+        # The per-run constants C of the NURand function.
+        self._c_c_id = self.rng.randint(0, scale.c_id_a)
+        self._c_i_id = self.rng.randint(0, scale.item_a)
+        self._c_name = self.rng.randint(0, 255)
+
+    def uniform(self, low: int, high: int) -> int:
+        return self.rng.randint(low, high)
+
+    def nurand(self, a: int, c: int, low: int, high: int) -> int:
+        return (
+            (self.rng.randint(0, a) | self.rng.randint(low, high)) + c
+        ) % (high - low + 1) + low
+
+    def customer_id(self) -> int:
+        return self.nurand(
+            self.scale.c_id_a, self._c_c_id, 1, self.scale.customers_per_district
+        )
+
+    def item_id(self) -> int:
+        return self.nurand(self.scale.item_a, self._c_i_id, 1, self.scale.items)
+
+    def random_last_name(self) -> str:
+        upper = self.scale.name_range - 1
+        return last_name(self.nurand(255, self._c_name, 0, upper) % 1000)
+
+    def other_warehouse(self, w_id: int) -> int:
+        if self.scale.warehouses == 1:
+            return w_id
+        other = self.uniform(1, self.scale.warehouses - 1)
+        return other if other < w_id else other + 1
+
+    def amount(self, low: float, high: float) -> float:
+        return round(self.rng.uniform(low, high), 2)
+
+
+# ---------------------------------------------------------------------------
+# Transaction parameter records
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class NewOrderParams:
+    w_id: int
+    d_id: int
+    c_id: int
+    items: List[Tuple[int, int, int]]  # (i_id, supply_w_id, quantity)
+    rollback: bool  # the spec's 1% intentionally-failing order
+    all_local: bool
+
+
+@dataclass
+class PaymentParams:
+    w_id: int
+    d_id: int
+    c_w_id: int
+    c_d_id: int
+    c_id: Optional[int]       # None -> lookup by last name
+    c_last: Optional[str]
+    amount: float
+
+
+@dataclass
+class OrderStatusParams:
+    w_id: int
+    d_id: int
+    c_id: Optional[int]
+    c_last: Optional[str]
+
+
+@dataclass
+class DeliveryParams:
+    w_id: int
+    carrier_id: int
+
+
+@dataclass
+class StockLevelParams:
+    w_id: int
+    d_id: int
+    threshold: int
+
+
+class ParamGenerator:
+    """Generates transaction inputs for one terminal (home warehouse)."""
+
+    def __init__(
+        self,
+        scale: TpccScale,
+        seed: int = 1,
+        remote_accesses: bool = True,
+        home_warehouse: Optional[int] = None,
+    ):
+        self.scale = scale
+        self.random = TpccRandom(scale, seed)
+        self.remote_accesses = remote_accesses
+        self.home_warehouse = home_warehouse
+
+    def _warehouse(self) -> int:
+        if self.home_warehouse is not None:
+            return self.home_warehouse
+        return self.random.uniform(1, self.scale.warehouses)
+
+    def new_order(self) -> NewOrderParams:
+        rnd = self.random
+        w_id = self._warehouse()
+        d_id = rnd.uniform(1, self.scale.districts_per_warehouse)
+        c_id = rnd.customer_id()
+        ol_cnt = rnd.uniform(5, 15)
+        items: List[Tuple[int, int, int]] = []
+        all_local = True
+        seen = set()
+        while len(items) < ol_cnt:
+            i_id = rnd.item_id()
+            if i_id in seen:
+                continue
+            seen.add(i_id)
+            supply_w = w_id
+            if (
+                self.remote_accesses
+                and self.scale.warehouses > 1
+                and rnd.uniform(1, 100) == 1
+            ):
+                supply_w = rnd.other_warehouse(w_id)
+                all_local = False
+            items.append((i_id, supply_w, rnd.uniform(1, 10)))
+        rollback = rnd.uniform(1, 100) == 1
+        return NewOrderParams(w_id, d_id, c_id, items, rollback, all_local)
+
+    def payment(self) -> PaymentParams:
+        rnd = self.random
+        w_id = self._warehouse()
+        d_id = rnd.uniform(1, self.scale.districts_per_warehouse)
+        if (
+            self.remote_accesses
+            and self.scale.warehouses > 1
+            and rnd.uniform(1, 100) <= 15
+        ):
+            c_w_id = rnd.other_warehouse(w_id)
+            c_d_id = rnd.uniform(1, self.scale.districts_per_warehouse)
+        else:
+            c_w_id, c_d_id = w_id, d_id
+        if rnd.uniform(1, 100) <= 60:
+            c_id, c_last = None, rnd.random_last_name()
+        else:
+            c_id, c_last = rnd.customer_id(), None
+        return PaymentParams(
+            w_id, d_id, c_w_id, c_d_id, c_id, c_last, rnd.amount(1.0, 5000.0)
+        )
+
+    def order_status(self) -> OrderStatusParams:
+        rnd = self.random
+        w_id = self._warehouse()
+        d_id = rnd.uniform(1, self.scale.districts_per_warehouse)
+        if rnd.uniform(1, 100) <= 60:
+            return OrderStatusParams(w_id, d_id, None, rnd.random_last_name())
+        return OrderStatusParams(w_id, d_id, rnd.customer_id(), None)
+
+    def delivery(self) -> DeliveryParams:
+        return DeliveryParams(self._warehouse(), self.random.uniform(1, 10))
+
+    def stock_level(self) -> StockLevelParams:
+        rnd = self.random
+        return StockLevelParams(
+            self._warehouse(),
+            rnd.uniform(1, self.scale.districts_per_warehouse),
+            rnd.uniform(10, 20),
+        )

@@ -1,0 +1,176 @@
+"""The nine TPC-C tables and their indexes."""
+
+from __future__ import annotations
+
+from repro.sql.schema import Catalog, Column
+from repro.sql.types import ColumnType as T
+
+
+def _col(name: str, column_type: T, nullable: bool = True) -> Column:
+    return Column(name, column_type, nullable=nullable)
+
+
+def build_tpcc_catalog(catalog: Catalog = None) -> Catalog:
+    """Define the TPC-C schema in ``catalog`` (a fresh one by default)."""
+    if catalog is None:
+        catalog = Catalog()
+
+    catalog.define_table(
+        "warehouse",
+        [
+            _col("w_id", T.INT, False),
+            _col("w_name", T.TEXT),
+            _col("w_street_1", T.TEXT),
+            _col("w_street_2", T.TEXT),
+            _col("w_city", T.TEXT),
+            _col("w_state", T.TEXT),
+            _col("w_zip", T.TEXT),
+            _col("w_tax", T.DECIMAL),
+            _col("w_ytd", T.DECIMAL),
+        ],
+        ["w_id"],
+    )
+
+    catalog.define_table(
+        "district",
+        [
+            _col("d_w_id", T.INT, False),
+            _col("d_id", T.INT, False),
+            _col("d_name", T.TEXT),
+            _col("d_street_1", T.TEXT),
+            _col("d_street_2", T.TEXT),
+            _col("d_city", T.TEXT),
+            _col("d_state", T.TEXT),
+            _col("d_zip", T.TEXT),
+            _col("d_tax", T.DECIMAL),
+            _col("d_ytd", T.DECIMAL),
+            _col("d_next_o_id", T.INT),
+        ],
+        ["d_w_id", "d_id"],
+    )
+
+    catalog.define_table(
+        "customer",
+        [
+            _col("c_w_id", T.INT, False),
+            _col("c_d_id", T.INT, False),
+            _col("c_id", T.INT, False),
+            _col("c_first", T.TEXT),
+            _col("c_middle", T.TEXT),
+            _col("c_last", T.TEXT),
+            _col("c_street_1", T.TEXT),
+            _col("c_city", T.TEXT),
+            _col("c_state", T.TEXT),
+            _col("c_zip", T.TEXT),
+            _col("c_phone", T.TEXT),
+            _col("c_since", T.TIMESTAMP),
+            _col("c_credit", T.TEXT),
+            _col("c_credit_lim", T.DECIMAL),
+            _col("c_discount", T.DECIMAL),
+            _col("c_balance", T.DECIMAL),
+            _col("c_ytd_payment", T.DECIMAL),
+            _col("c_payment_cnt", T.INT),
+            _col("c_delivery_cnt", T.INT),
+            _col("c_data", T.TEXT),
+        ],
+        ["c_w_id", "c_d_id", "c_id"],
+    )
+    catalog.define_index(
+        "customer_name", "customer", ["c_w_id", "c_d_id", "c_last"]
+    )
+
+    catalog.define_table(
+        "history",
+        [
+            _col("h_id", T.BIGINT, False),
+            _col("h_c_id", T.INT),
+            _col("h_c_d_id", T.INT),
+            _col("h_c_w_id", T.INT),
+            _col("h_d_id", T.INT),
+            _col("h_w_id", T.INT),
+            _col("h_date", T.TIMESTAMP),
+            _col("h_amount", T.DECIMAL),
+            _col("h_data", T.TEXT),
+        ],
+        ["h_id"],
+    )
+
+    catalog.define_table(
+        "neworder",
+        [
+            _col("no_w_id", T.INT, False),
+            _col("no_d_id", T.INT, False),
+            _col("no_o_id", T.INT, False),
+        ],
+        ["no_w_id", "no_d_id", "no_o_id"],
+    )
+
+    catalog.define_table(
+        "orders",
+        [
+            _col("o_w_id", T.INT, False),
+            _col("o_d_id", T.INT, False),
+            _col("o_id", T.INT, False),
+            _col("o_c_id", T.INT),
+            _col("o_entry_d", T.TIMESTAMP),
+            _col("o_carrier_id", T.INT),
+            _col("o_ol_cnt", T.INT),
+            _col("o_all_local", T.INT),
+        ],
+        ["o_w_id", "o_d_id", "o_id"],
+    )
+    catalog.define_index(
+        "orders_customer", "orders", ["o_w_id", "o_d_id", "o_c_id"]
+    )
+
+    catalog.define_table(
+        "orderline",
+        [
+            _col("ol_w_id", T.INT, False),
+            _col("ol_d_id", T.INT, False),
+            _col("ol_o_id", T.INT, False),
+            _col("ol_number", T.INT, False),
+            _col("ol_i_id", T.INT),
+            _col("ol_supply_w_id", T.INT),
+            _col("ol_delivery_d", T.TIMESTAMP),
+            _col("ol_quantity", T.INT),
+            _col("ol_amount", T.DECIMAL),
+            _col("ol_dist_info", T.TEXT),
+        ],
+        ["ol_w_id", "ol_d_id", "ol_o_id", "ol_number"],
+    )
+
+    catalog.define_table(
+        "item",
+        [
+            _col("i_id", T.INT, False),
+            _col("i_im_id", T.INT),
+            _col("i_name", T.TEXT),
+            _col("i_price", T.DECIMAL),
+            _col("i_data", T.TEXT),
+        ],
+        ["i_id"],
+    )
+
+    catalog.define_table(
+        "stock",
+        [
+            _col("s_w_id", T.INT, False),
+            _col("s_i_id", T.INT, False),
+            _col("s_quantity", T.INT),
+            _col("s_ytd", T.DECIMAL),
+            _col("s_order_cnt", T.INT),
+            _col("s_remote_cnt", T.INT),
+            _col("s_data", T.TEXT),
+            _col("s_dist_01", T.TEXT),
+        ],
+        ["s_w_id", "s_i_id"],
+    )
+
+    return catalog
+
+
+TPCC_TABLE_NAMES = [
+    "warehouse", "district", "customer", "history", "neworder",
+    "orders", "orderline", "item", "stock",
+]

@@ -1,0 +1,78 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api.runner import DirectRunner, Router
+from repro.core.commit_manager import CommitManager
+from repro.core.processing_node import ProcessingNode
+from repro.store.cluster import StorageCluster
+
+
+@pytest.fixture
+def cluster():
+    """A small storage cluster without replication."""
+    return StorageCluster(n_nodes=3, replication_factor=1)
+
+
+@pytest.fixture
+def replicated_cluster():
+    """Three nodes, RF3: every partition exists everywhere."""
+    return StorageCluster(n_nodes=3, replication_factor=3)
+
+
+@pytest.fixture
+def runner(cluster):
+    """Direct runner with a commit manager attached."""
+    commit_manager = CommitManager(0, cluster.execute, tid_range_size=64)
+    return DirectRunner(Router(cluster, commit_manager, pn_id=0))
+
+
+@pytest.fixture
+def pn():
+    return ProcessingNode(0)
+
+
+@pytest.fixture
+def db():
+    """An embedded database with one session pre-created."""
+    from repro.api import Database
+
+    return Database(storage_nodes=3, replication_factor=1)
+
+
+def interleave(router, generators):
+    """Drive several protocol coroutines round-robin, one request each.
+
+    This produces adversarial interleavings at every request boundary --
+    the direct-mode analogue of concurrent PNs racing on shared state.
+    Returns the list of results (StopIteration values) in input order.
+    """
+    from repro.errors import TellError
+
+    states = [(i, gen, None, None) for i, gen in enumerate(generators)]
+    results = [None] * len(generators)
+    errors = [None] * len(generators)
+    pending = states
+    while pending:
+        next_round = []
+        for index, gen, value, exc in pending:
+            try:
+                if exc is not None:
+                    request = gen.throw(exc)
+                else:
+                    request = gen.send(value)
+            except StopIteration as stop:
+                results[index] = stop.value
+                continue
+            except TellError as error:
+                errors[index] = error
+                continue
+            try:
+                outcome = router.execute(request)
+                next_round.append((index, gen, outcome, None))
+            except TellError as error:
+                next_round.append((index, gen, None, error))
+        pending = next_round
+    return results, errors

@@ -1,0 +1,302 @@
+"""Tests for the latch-free distributed B+tree (Section 5.3)."""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import effects
+from repro.api.runner import DirectRunner, Router
+from repro.errors import DuplicateKey, InvalidState
+from repro.index.btree import BTreeNode, DistributedBTree
+from repro.store.cluster import StorageCluster
+from tests.conftest import interleave
+
+
+@pytest.fixture
+def env():
+    cluster = StorageCluster(n_nodes=3)
+    router = Router(cluster)
+    runner = DirectRunner(router)
+    tree = DistributedBTree(index_id=1, max_entries=6)
+    runner.run(tree.create())
+    return cluster, router, runner, tree
+
+
+def fresh_handle(env, **kwargs):
+    """A second tree handle: simulates another PN (separate cache)."""
+    _cluster, _router, runner, tree = env
+    other = DistributedBTree(index_id=tree.index_id, max_entries=tree.max_entries,
+                             **kwargs)
+    return other
+
+
+class TestBasicOperations:
+    def test_insert_lookup(self, env):
+        _c, _r, runner, tree = env
+        runner.run(tree.insert(10, 100))
+        assert runner.run(tree.lookup(10)) == [100]
+        assert runner.run(tree.lookup(11)) == []
+
+    def test_duplicate_entry_returns_false(self, env):
+        _c, _r, runner, tree = env
+        assert runner.run(tree.insert(10, 100)) is True
+        assert runner.run(tree.insert(10, 100)) is False
+
+    def test_non_unique_keys_accumulate(self, env):
+        _c, _r, runner, tree = env
+        for rid in (3, 1, 2):
+            runner.run(tree.insert("key", rid))
+        assert runner.run(tree.lookup("key")) == [1, 2, 3]
+
+    def test_unique_insert_rejects_same_key(self, env):
+        _c, _r, runner, tree = env
+        runner.run(tree.insert(5, 1, unique=True))
+        with pytest.raises(DuplicateKey):
+            runner.run(tree.insert(5, 2, unique=True))
+
+    def test_delete(self, env):
+        _c, _r, runner, tree = env
+        runner.run(tree.insert(1, 10))
+        assert runner.run(tree.delete(1, 10)) is True
+        assert runner.run(tree.delete(1, 10)) is False
+        assert runner.run(tree.lookup(1)) == []
+
+    def test_splits_preserve_order(self, env):
+        _c, _r, runner, tree = env
+        keys = list(range(200))
+        random.Random(1).shuffle(keys)
+        for key in keys:
+            runner.run(tree.insert(key, key * 2))
+        entries = runner.run(tree.all_entries())
+        assert entries == [(key, key * 2) for key in range(200)]
+
+    def test_range_entries(self, env):
+        _c, _r, runner, tree = env
+        for key in range(100):
+            runner.run(tree.insert(key, key))
+        got = runner.run(tree.range_entries((20,), (30,)))
+        assert got == [(key, key) for key in range(20, 30)]
+
+    def test_range_with_limit(self, env):
+        _c, _r, runner, tree = env
+        for key in range(50):
+            runner.run(tree.insert(key, key))
+        got = runner.run(tree.range_entries((0,), None, limit=7))
+        assert len(got) == 7
+
+    def test_lookup_on_missing_index_raises(self, env):
+        _c, _r, runner, _tree = env
+        ghost = DistributedBTree(index_id=999)
+        with pytest.raises(InvalidState):
+            runner.run(ghost.lookup(1))
+
+    def test_create_is_idempotent_under_races(self, env):
+        _c, _r, runner, tree = env
+        runner.run(tree.insert(1, 1))
+        other = DistributedBTree(index_id=tree.index_id, max_entries=6)
+        runner.run(other.create())  # loses the conditional writes
+        assert runner.run(other.lookup(1)) == [1]
+
+
+class TestCrossHandleVisibility:
+    def test_second_pn_sees_inserts(self, env):
+        _c, _r, runner, tree = env
+        for key in range(100):
+            runner.run(tree.insert(key, key))
+        other = fresh_handle(env)
+        assert runner.run(other.lookup(42)) == [42]
+
+    def test_stale_cache_follows_splits(self, env):
+        """A PN whose cached inner nodes predate splits still finds keys
+        (B-link move-right), and refreshes its cache."""
+        _c, _r, runner, tree = env
+        for key in range(0, 40):
+            runner.run(tree.insert(key, key))
+        other = fresh_handle(env)
+        runner.run(other.lookup(20))  # warm other's cache
+        # main handle splits leaves to the right of 20 heavily
+        for key in range(40, 160):
+            runner.run(tree.insert(key, key))
+        for key in (45, 99, 159):
+            assert runner.run(other.lookup(key)) == [key]
+
+    def test_stale_root_cache_after_tree_grows(self, env):
+        _c, _r, runner, tree = env
+        runner.run(tree.insert(1, 1))
+        other = fresh_handle(env)
+        runner.run(other.lookup(1))  # caches the 1-level root
+        for key in range(2, 300):
+            runner.run(tree.insert(key, key))  # root grows several levels
+        assert runner.run(other.lookup(250)) == [250]
+
+    def test_lookup_many_batches(self, env):
+        _c, _r, runner, tree = env
+        for key in range(100):
+            runner.run(tree.insert(key, key))
+        runner.run(tree.lookup(0))  # warm cache
+        result = runner.run(tree.lookup_many(list(range(0, 100, 7))))
+        for key in range(0, 100, 7):
+            assert result[key] == [key]
+
+    def test_lookup_many_cold_cache_falls_back(self, env):
+        _c, _r, runner, tree = env
+        for key in range(50):
+            runner.run(tree.insert(key, key))
+        other = fresh_handle(env)
+        result = runner.run(other.lookup_many([1, 25, 49]))
+        assert result == {1: [1], 25: [25], 49: [49]}
+
+    def test_lookup_many_after_concurrent_splits(self, env):
+        _c, _r, runner, tree = env
+        for key in range(0, 200, 2):
+            runner.run(tree.insert(key, key))
+        other = fresh_handle(env)
+        runner.run(other.lookup(0))  # warm cache
+        for key in range(1, 200, 2):  # splits under other's feet
+            runner.run(tree.insert(key, key))
+        result = runner.run(other.lookup_many(list(range(0, 200, 13))))
+        for key in range(0, 200, 13):
+            assert result[key] == [key]
+
+    def test_cache_disabled_mode(self, env):
+        _c, _r, runner, tree = env
+        uncached = fresh_handle(env, cache_inner_nodes=False)
+        for key in range(60):
+            runner.run(tree.insert(key, key))
+        assert runner.run(uncached.lookup(30)) == [30]
+        assert uncached.cache.hits == 0
+
+
+class TestConcurrentInterleavings:
+    def test_interleaved_inserts_from_two_pns(self, env):
+        _c, router, runner, tree = env
+        other = fresh_handle(env)
+        gens = [tree.insert(i, 1000 + i) for i in range(40)]
+        gens += [other.insert(i + 40, 2000 + i) for i in range(40)]
+        random.Random(3).shuffle(gens)
+        _results, errors = interleave(router, gens)
+        assert not any(errors)
+        entries = runner.run(tree.all_entries())
+        assert len(entries) == 80
+        assert entries == sorted(entries)
+
+    def test_interleaved_insert_delete(self, env):
+        _c, router, runner, tree = env
+        for key in range(30):
+            runner.run(tree.insert(key, key))
+        other = fresh_handle(env)
+        gens = [tree.delete(key, key) for key in range(0, 30, 2)]
+        gens += [other.insert(key, key) for key in range(30, 60)]
+        _results, errors = interleave(router, gens)
+        assert not any(errors)
+        entries = runner.run(tree.all_entries())
+        expected = sorted(
+            [(key, key) for key in range(1, 30, 2)]
+            + [(key, key) for key in range(30, 60)]
+        )
+        assert entries == expected
+
+    def test_interleaved_unique_inserts_one_winner(self, env):
+        _c, router, runner, tree = env
+        other = fresh_handle(env)
+        gens = [tree.insert(7, 1, unique=True), other.insert(7, 2, unique=True)]
+        _results, errors = interleave(router, gens)
+        dup_errors = [e for e in errors if isinstance(e, DuplicateKey)]
+        rids = runner.run(tree.lookup(7))
+        assert len(rids) == 1
+        assert len(dup_errors) == 1
+
+
+class TestBulkBuild:
+    def test_bulk_build_equals_incremental(self, env):
+        _c, _r, runner, _tree = env
+        entries = sorted((key, key * 3) for key in range(500))
+        bulk = DistributedBTree(index_id=50, max_entries=16)
+        runner.run(bulk.bulk_build(entries))
+        assert runner.run(bulk.all_entries()) == entries
+        for key in (0, 123, 499):
+            assert runner.run(bulk.lookup(key)) == [key * 3]
+
+    def test_bulk_build_empty(self, env):
+        _c, _r, runner, _tree = env
+        bulk = DistributedBTree(index_id=51, max_entries=8)
+        runner.run(bulk.bulk_build([]))
+        assert runner.run(bulk.all_entries()) == []
+        runner.run(bulk.insert(1, 1))
+        assert runner.run(bulk.lookup(1)) == [1]
+
+    def test_bulk_build_rejects_unsorted(self, env):
+        _c, _r, runner, _tree = env
+        bulk = DistributedBTree(index_id=52)
+        with pytest.raises(InvalidState):
+            runner.run(bulk.bulk_build([(2, 2), (1, 1)]))
+
+    def test_inserts_after_bulk_build(self, env):
+        _c, _r, runner, _tree = env
+        entries = sorted((key, key) for key in range(0, 100, 2))
+        bulk = DistributedBTree(index_id=53, max_entries=8)
+        runner.run(bulk.bulk_build(entries))
+        for key in range(1, 100, 2):
+            runner.run(bulk.insert(key, key))
+        assert runner.run(bulk.all_entries()) == sorted(
+            (key, key) for key in range(100)
+        )
+
+
+# -- property-based model checking ------------------------------------------------
+
+
+@settings(max_examples=30, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    operations=st.lists(
+        st.tuples(
+            st.sampled_from(["insert", "delete"]),
+            st.integers(min_value=0, max_value=40),
+            st.integers(min_value=0, max_value=3),
+        ),
+        max_size=120,
+    )
+)
+def test_btree_matches_set_model(operations):
+    """Random insert/delete sequences agree with a sorted-set model."""
+    cluster = StorageCluster(n_nodes=2)
+    runner = DirectRunner(Router(cluster))
+    tree = DistributedBTree(index_id=1, max_entries=4)
+    runner.run(tree.create())
+    model = set()
+    for action, key, rid in operations:
+        if action == "insert":
+            runner.run(tree.insert(key, rid))
+            model.add((key, rid))
+        else:
+            runner.run(tree.delete(key, rid))
+            model.discard((key, rid))
+    assert runner.run(tree.all_entries()) == sorted(model)
+    for key in range(41):
+        expected = sorted(r for k, r in model if k == key)
+        assert runner.run(tree.lookup(key)) == expected
+
+
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    keys=st.lists(st.integers(min_value=0, max_value=1000), max_size=150),
+    low=st.integers(min_value=0, max_value=1000),
+    span=st.integers(min_value=0, max_value=500),
+)
+def test_range_scan_matches_model(keys, low, span):
+    cluster = StorageCluster(n_nodes=2)
+    runner = DirectRunner(Router(cluster))
+    tree = DistributedBTree(index_id=1, max_entries=4)
+    runner.run(tree.create())
+    model = set()
+    for rid, key in enumerate(keys):
+        runner.run(tree.insert(key, rid))
+        model.add((key, rid))
+    high = low + span
+    got = runner.run(tree.range_entries((low,), (high,)))
+    expected = sorted(entry for entry in model if low <= entry[0] < high)
+    assert got == expected

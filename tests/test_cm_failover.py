@@ -1,0 +1,85 @@
+"""Tests for commit-manager failure and replacement (Section 4.4.3)."""
+
+import pytest
+
+from repro.api import Database
+from repro.errors import InvalidState, TransactionAborted
+
+
+class TestCommitManagerFailover:
+    def test_replacement_serves_fresh_tids(self):
+        db = Database()
+        session = db.session()
+        session.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+        session.execute("INSERT INTO t VALUES (1, 1)")
+        old_top = db.commit_managers[0].last_assigned_tid
+        db.crash_commit_manager(0)
+        session.execute("UPDATE t SET v = 2 WHERE id = 1")
+        assert db.commit_managers[0].last_assigned_tid > old_top
+
+    def test_data_visible_after_failover(self):
+        db = Database()
+        session = db.session()
+        session.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+        session.execute("INSERT INTO t VALUES (1, 10), (2, 20)")
+        db.crash_commit_manager(0)
+        # New transactions through the replacement see committed data.
+        rows = session.query("SELECT SUM(v) AS s FROM t")
+        assert rows == [{"s": 30}]
+
+    def test_refuses_with_active_transactions(self):
+        db = Database()
+        session = db.session()
+        session.execute("CREATE TABLE t (id INT PRIMARY KEY)")
+        session.execute("BEGIN")
+        session.execute("INSERT INTO t VALUES (1)")
+        with pytest.raises(InvalidState):
+            db.crash_commit_manager(0)
+        session.execute("ROLLBACK")
+        db.crash_commit_manager(0)  # now allowed
+
+    def test_sessions_rewired_to_replacement(self):
+        db = Database()
+        session = db.session()
+        session.execute("CREATE TABLE t (id INT PRIMARY KEY)")
+        replacement = db.crash_commit_manager(0)
+        assert session.runner.router.commit_manager is replacement
+
+    def test_conflict_detection_still_works_after_failover(self):
+        db = Database()
+        session = db.session()
+        session.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+        session.execute("INSERT INTO t VALUES (1, 0)")
+        db.crash_commit_manager(0)
+        a, b = db.session(), db.session()
+        a.execute("BEGIN")
+        b.execute("BEGIN")
+        a.execute("UPDATE t SET v = 1 WHERE id = 1")
+        b.execute("UPDATE t SET v = 2 WHERE id = 1")
+        a.execute("COMMIT")
+        with pytest.raises(TransactionAborted):
+            b.execute("COMMIT")
+
+    def test_multi_manager_failover_uses_peer_state(self):
+        db = Database(commit_managers=2)
+        a = db.session()  # CM 0
+        b = db.session()  # CM 1
+        a.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+        b.refresh_catalog()
+        a.execute("INSERT INTO t VALUES (1, 1)")
+        db.sync_commit_managers()
+        replacement = db.crash_commit_manager(0)
+        db.sync_commit_managers()
+        # Transactions through both managers still work and agree.
+        a.execute("UPDATE t SET v = 5 WHERE id = 1")
+        db.sync_commit_managers()
+        assert b.query("SELECT v FROM t WHERE id = 1") == [{"v": 5}]
+
+    def test_failover_with_drained_peers_advances_base(self):
+        db = Database(commit_managers=2)
+        a = db.session()
+        a.execute("CREATE TABLE t (id INT PRIMARY KEY)")
+        for i in range(10):
+            a.execute("INSERT INTO t VALUES (?)", [i])
+        replacement = db.crash_commit_manager(0)
+        assert replacement.completed.base >= 10

@@ -1,0 +1,182 @@
+"""Tests for the commit manager (Section 4.2)."""
+
+import pytest
+
+from repro import effects
+from repro.core.commit_manager import TID_COUNTER_KEY, CommitManager
+from repro.errors import InvalidState
+from repro.store.cluster import StorageCluster
+
+
+@pytest.fixture
+def store():
+    return StorageCluster(n_nodes=2)
+
+
+def manager(store, cm_id=0, tid_range=8):
+    return CommitManager(cm_id, store.execute, tid_range_size=tid_range)
+
+
+class TestTidAssignment:
+    def test_tids_unique_and_increasing_within_manager(self, store):
+        cm = manager(store)
+        tids = [cm.start().tid for _ in range(25)]
+        assert tids == sorted(tids)
+        assert len(set(tids)) == 25
+
+    def test_tids_unique_across_managers(self, store):
+        a = manager(store, 0)
+        b = manager(store, 1)
+        tids = []
+        for _ in range(20):
+            tids.append(a.start().tid)
+            tids.append(b.start().tid)
+        assert len(set(tids)) == 40
+
+    def test_ranges_come_from_shared_counter(self, store):
+        cm = manager(store, tid_range=8)
+        cm.start()
+        value, _ = store.execute(effects.Get("meta", TID_COUNTER_KEY))
+        assert value == 8
+        for _ in range(8):
+            cm.start()
+        value, _ = store.execute(effects.Get("meta", TID_COUNTER_KEY))
+        assert value == 16
+        assert cm.range_refills == 2
+
+    def test_refill_flag_reported(self, store):
+        cm = manager(store, tid_range=4)
+        starts = [cm.start() for _ in range(5)]
+        assert starts[0].range_refilled
+        assert not starts[1].range_refilled
+        assert starts[4].range_refilled
+
+    def test_invalid_range_size(self, store):
+        with pytest.raises(InvalidState):
+            CommitManager(0, store.execute, tid_range_size=0)
+
+
+class TestSnapshots:
+    def test_snapshot_excludes_running_transactions(self, store):
+        cm = manager(store)
+        first = cm.start()
+        second = cm.start()
+        assert not second.snapshot.contains(first.tid)
+
+    def test_snapshot_includes_committed(self, store):
+        cm = manager(store)
+        first = cm.start()
+        cm.set_committed(first.tid)
+        second = cm.start()
+        assert second.snapshot.contains(first.tid)
+
+    def test_aborted_also_completes(self, store):
+        """Aborted tids enter the snapshot (their writes were reverted
+        first), keeping the base version advancing."""
+        cm = manager(store)
+        first = cm.start()
+        cm.set_aborted(first.tid)
+        second = cm.start()
+        assert second.snapshot.contains(first.tid)
+        assert cm.completed.base >= first.tid
+
+    def test_own_tid_not_in_snapshot(self, store):
+        cm = manager(store)
+        start = cm.start()
+        assert not start.snapshot.contains(start.tid)
+
+
+class TestLav:
+    def test_lav_without_active_equals_base(self, store):
+        cm = manager(store)
+        start = cm.start()
+        cm.set_committed(start.tid)
+        assert cm.lowest_active_version() == cm.completed.base
+
+    def test_lav_is_min_active_base(self, store):
+        cm = manager(store)
+        old = cm.start()              # base 0
+        cm.set_committed(cm.start().tid)
+        fresh = cm.start()            # newer base
+        assert cm.local_lav() == old.snapshot.base
+        cm.set_committed(old.tid)
+        cm.set_committed(fresh.tid)
+        assert cm.local_lav() > old.snapshot.base
+
+    def test_lav_considers_peers(self, store):
+        a = manager(store, 0)
+        b = manager(store, 1)
+        stuck = b.start()  # b has an old active transaction
+        for _ in range(10):
+            a.set_committed(a.start().tid)
+        b.publish_state()
+        a.absorb_peers([1])
+        assert a.lowest_active_version() <= stuck.snapshot.base
+
+
+class TestMultiManagerSync:
+    def test_views_converge_after_sync(self, store):
+        a = manager(store, 0)
+        b = manager(store, 1)
+        for _ in range(5):
+            a.set_committed(a.start().tid)
+            b.set_committed(b.start().tid)
+        a.sync([0, 1])
+        b.sync([0, 1])
+        a.sync([0, 1])
+        assert a.completed.base == b.completed.base
+        assert a.completed.snapshot() == b.completed.snapshot()
+
+    def test_delayed_view_is_subset(self, store):
+        """Before a sync round, a peer's view is only delayed -- it never
+        contains a tid that did not complete."""
+        a = manager(store, 0)
+        b = manager(store, 1)
+        committed = set()
+        for _ in range(6):
+            start = a.start()
+            a.set_committed(start.tid)
+            committed.add(start.tid)
+        a.publish_state()
+        b.absorb_peers([0])
+        snapshot = b.start().snapshot
+        for tid in snapshot.newly_completed():
+            assert tid in committed
+
+    def test_active_tids_of_pn(self, store):
+        cm = manager(store)
+        t1 = cm.start(pn_id=7)
+        t2 = cm.start(pn_id=8)
+        t3 = cm.start(pn_id=7)
+        assert sorted(cm.active_tids_of(7)) == sorted([t1.tid, t3.tid])
+        cm.set_committed(t1.tid)
+        assert cm.active_tids_of(7) == [t3.tid]
+        assert cm.active_tids_of(99) == []
+
+
+class TestRecovery:
+    def test_new_manager_gets_fresh_tids(self, store):
+        a = manager(store, 0)
+        used = {a.start().tid for _ in range(20)}
+        # a crashes; a replacement starts with the same id
+        replacement = CommitManager.recover(0, store.execute, peer_ids=[])
+        fresh = {replacement.start().tid for _ in range(20)}
+        assert used.isdisjoint(fresh)
+
+    def test_recovered_state_from_publication(self, store):
+        a = manager(store, 0)
+        for _ in range(10):
+            a.set_committed(a.start().tid)
+        a.publish_state()
+        replacement = CommitManager.recover(0, store.execute, peer_ids=[])
+        assert replacement.completed.base == a.completed.base
+
+    def test_recovery_from_peer_publications(self, store):
+        a = manager(store, 0)
+        b = manager(store, 1)
+        for _ in range(5):
+            b.set_committed(b.start().tid)
+        b.publish_state()
+        replacement = CommitManager.recover(0, store.execute, peer_ids=[1])
+        assert replacement.completed.base >= 1
+        assert replacement.highest_known_tid() >= 5

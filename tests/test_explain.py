@@ -1,0 +1,114 @@
+"""Tests for EXPLAIN: the planner's access-path choices made visible."""
+
+import pytest
+
+from repro.api import Database
+
+
+@pytest.fixture
+def session():
+    db = Database(storage_nodes=2)
+    session = db.session()
+    session.execute(
+        "CREATE TABLE orders (id INT PRIMARY KEY, customer INT, "
+        "region TEXT, total DECIMAL)"
+    )
+    session.execute("CREATE INDEX orders_customer ON orders (customer)")
+    session.execute(
+        "CREATE TABLE customers (id INT PRIMARY KEY, name TEXT)"
+    )
+    return session
+
+
+def plan_text(session, sql, params=()):
+    return "\n".join(session.explain(sql, params))
+
+
+class TestAccessPaths:
+    def test_pk_point_lookup(self, session):
+        plan = plan_text(session, "SELECT * FROM orders WHERE id = 5")
+        assert "point lookup via orders_pk" in plan
+
+    def test_secondary_index_lookup(self, session):
+        plan = plan_text(
+            session, "SELECT * FROM orders WHERE customer = 7"
+        )
+        assert "orders_customer" in plan
+        assert "full scan" not in plan
+
+    def test_range_scan(self, session):
+        plan = plan_text(
+            session, "SELECT * FROM orders WHERE id > 10 AND id < 20"
+        )
+        assert "range via orders_pk" in plan
+
+    def test_full_scan_with_pushdown(self, session):
+        plan = plan_text(
+            session, "SELECT * FROM orders WHERE region = 'emea'"
+        )
+        assert "full scan with storage-side" in plan
+
+    def test_plain_full_scan(self, session):
+        plan = plan_text(session, "SELECT * FROM orders")
+        assert plan.strip().endswith("full scan")
+
+    def test_parameters_resolved(self, session):
+        plan = plan_text(
+            session, "SELECT * FROM orders WHERE id = ?", [42]
+        )
+        assert "42" in plan
+
+
+class TestJoinsAndShape:
+    def test_index_nested_loop(self, session):
+        plan = plan_text(
+            session,
+            "SELECT * FROM orders o JOIN customers c ON c.id = o.customer",
+        )
+        assert "index nested-loop join via customers_pk" in plan
+
+    def test_hash_join_on_unindexed_column(self, session):
+        plan = plan_text(
+            session,
+            "SELECT * FROM orders a JOIN orders b ON a.region = b.region",
+        )
+        assert "hash join on region" in plan
+
+    def test_nested_loop_fallback(self, session):
+        plan = plan_text(
+            session,
+            "SELECT * FROM orders a JOIN orders b ON a.total < b.total",
+        )
+        assert "nested-loop join" in plan
+
+    def test_post_processing_lines(self, session):
+        plan = plan_text(
+            session,
+            "SELECT region, COUNT(*) FROM orders WHERE total > 5 "
+            "GROUP BY region ORDER BY region LIMIT 3",
+        )
+        assert "group by 1 expr(s)" in plan
+        assert "sort by 1 key(s)" in plan
+        assert "limit 3" in plan
+
+    def test_for_update_marker(self, session):
+        plan = plan_text(
+            session, "SELECT * FROM orders WHERE id = 1 FOR UPDATE"
+        )
+        assert "lock rows (FOR UPDATE)" in plan
+
+
+class TestDmlPlans:
+    def test_update_plan(self, session):
+        plan = plan_text(session, "UPDATE orders SET total = 0 WHERE id = 1")
+        assert plan.startswith("UPDATE orders")
+        assert "point lookup" in plan
+
+    def test_delete_plan(self, session):
+        plan = plan_text(session, "DELETE FROM orders WHERE customer = 2")
+        assert plan.startswith("DELETE orders")
+        assert "orders_customer" in plan
+
+    def test_insert_plan(self, session):
+        plan = plan_text(session, "INSERT INTO orders VALUES (1, 2, 'x', 3)")
+        assert "INSERT 1 row(s)" in plan

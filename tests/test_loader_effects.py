@@ -1,0 +1,153 @@
+"""Tests for the bulk loader, the effect vocabulary, and table printing."""
+
+import pytest
+
+from repro import effects
+from repro.api.runner import DirectRunner, Router
+from repro.bench.tables import format_table
+from repro.core.commit_manager import CommitManager
+from repro.core.processing_node import ProcessingNode
+from repro.core.spaces import META_SPACE, rid_counter_key
+from repro.sql.schema import Catalog, Column
+from repro.sql.table import IndexManager, Table
+from repro.sql.types import ColumnType
+from repro.store.cluster import StorageCluster
+from repro.workloads.loader import BulkLoader
+
+
+@pytest.fixture
+def env():
+    cluster = StorageCluster(n_nodes=2)
+    catalog = Catalog()
+    catalog.define_table(
+        "users",
+        [
+            Column("id", ColumnType.INT, nullable=False),
+            Column("name", ColumnType.TEXT),
+            Column("age", ColumnType.INT),
+        ],
+        ["id"],
+    )
+    catalog.define_index("users_age", "users", ["age"])
+    indexes = IndexManager()
+    loader = BulkLoader(catalog, indexes, batch_size=16)
+    return cluster, catalog, indexes, loader
+
+
+def load(cluster, loader, rows):
+    return effects.run_direct(loader.load_table("users", rows), Router(cluster))
+
+
+class TestBulkLoader:
+    def test_rows_visible_to_transactions(self, env):
+        cluster, catalog, indexes, loader = env
+        count = load(cluster, loader, [
+            {"id": i, "name": f"user-{i}", "age": i % 40} for i in range(100)
+        ])
+        assert count == 100
+        cm = CommitManager(0, cluster.execute)
+        pn = ProcessingNode(0)
+        runner = DirectRunner(Router(cluster, cm, pn_id=0))
+        txn = runner.run(pn.begin())
+        table = Table(catalog.table("users"), txn, indexes)
+        found = runner.run(table.get((42,)))
+        assert found is not None and found[1][1] == "user-42"
+
+    def test_secondary_index_built(self, env):
+        cluster, catalog, indexes, loader = env
+        load(cluster, loader, [
+            {"id": i, "name": "x", "age": 30 if i < 5 else 50}
+            for i in range(20)
+        ])
+        cm = CommitManager(0, cluster.execute)
+        pn = ProcessingNode(0)
+        runner = DirectRunner(Router(cluster, cm, pn_id=0))
+        txn = runner.run(pn.begin())
+        table = Table(catalog.table("users"), txn, indexes)
+        index = catalog.indexes["users_age"]
+        matches = runner.run(table.lookup(index, (30,)))
+        assert len(matches) == 5
+
+    def test_rid_counter_advanced(self, env):
+        cluster, catalog, indexes, loader = env
+        load(cluster, loader, [{"id": i, "name": "x"} for i in range(7)])
+        value, _ = cluster.execute(
+            effects.Get(META_SPACE, rid_counter_key(catalog.table("users").table_id))
+        )
+        assert value == 7
+        # new inserts get fresh rids beyond the loaded population
+        cm = CommitManager(0, cluster.execute)
+        pn = ProcessingNode(0)
+        runner = DirectRunner(Router(cluster, cm, pn_id=0))
+        txn = runner.run(pn.begin())
+        table = Table(catalog.table("users"), txn, indexes)
+        rid = runner.run(table.insert({"id": 100, "name": "new"}))
+        assert rid > 7
+
+    def test_loaded_versions_visible_to_every_snapshot(self, env):
+        cluster, catalog, indexes, loader = env
+        load(cluster, loader, [{"id": 1, "name": "x"}])
+        from repro.core.spaces import DATA_SPACE, data_key
+
+        record, _ = cluster.execute(
+            effects.Get(DATA_SPACE, data_key(catalog.table("users").table_id, 1))
+        )
+        assert record.versions[0].tid == 0  # version 0: visible to all
+
+    def test_empty_table_load(self, env):
+        cluster, catalog, indexes, loader = env
+        assert load(cluster, loader, []) == 0
+
+
+class TestEffects:
+    def test_multi_get_builds_batch(self):
+        batch = effects.multi_get("data", [1, 2, 3])
+        assert isinstance(batch, effects.Batch)
+        assert all(isinstance(op, effects.Get) for op in batch.ops)
+        assert [op.key for op in batch.ops] == [1, 2, 3]
+
+    def test_scan_bounds(self):
+        scan = effects.Scan("data", 1, 10, limit=5)
+        assert scan.start == 1 and scan.end == 10 and scan.limit == 5
+
+    def test_run_direct_returns_value(self, cluster):
+        def proto():
+            yield effects.Put("data", "k", "v")
+            value, _version = yield effects.Get("data", "k")
+            return value
+
+        assert effects.run_direct(proto(), Router(cluster)) == "v"
+
+    def test_router_rejects_unknown(self, cluster):
+        router = Router(cluster)
+        with pytest.raises(TypeError):
+            router.execute("not a request")
+
+    def test_router_without_cm_rejects_cm_requests(self, cluster):
+        router = Router(cluster)
+        with pytest.raises(RuntimeError):
+            router.execute(effects.StartTransaction())
+
+    def test_compute_and_sleep_are_noops_in_direct_mode(self, cluster):
+        router = Router(cluster)
+        assert router.execute(effects.Compute(100.0)) is None
+        assert router.execute(effects.Sleep(100.0)) is None
+
+
+class TestTablePrinter:
+    def test_alignment_and_formatting(self):
+        text = format_table(
+            ["Name", "Value"],
+            [("x", 1234567.0), ("longer-name", 0.5)],
+            title="My Table",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "My Table"
+        assert "1,234,567" in text
+        assert "0.50" in text
+        # header separator matches widths
+        assert set(lines[2]) <= {"-", " "}
+
+    def test_empty_rows(self):
+        text = format_table(["A"], [])
+        assert "A" in text

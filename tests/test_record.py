@@ -1,0 +1,135 @@
+"""Tests for multi-version records and version GC (Sections 5.1, 5.4)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.record import TOMBSTONE, Version, VersionedRecord
+from repro.core.snapshot import SnapshotDescriptor
+from repro.errors import InvalidState
+
+
+def record_of(*versions):
+    return VersionedRecord([Version(tid, payload) for tid, payload in versions])
+
+
+class TestVersionedRecord:
+    def test_versions_sorted_newest_first(self):
+        record = record_of((2, "b"), (5, "c"), (1, "a"))
+        assert record.version_numbers() == (5, 2, 1)
+        assert record.newest_tid == 5
+
+    def test_initial(self):
+        record = VersionedRecord.initial(7, ("x",))
+        assert len(record) == 1
+        assert record.get(7).payload == ("x",)
+
+    def test_latest_visible_respects_snapshot(self):
+        record = record_of((1, "old"), (5, "mid"), (9, "new"))
+        assert record.latest_visible(SnapshotDescriptor(9, 0)).payload == "new"
+        assert record.latest_visible(SnapshotDescriptor(6, 0)).payload == "mid"
+        assert record.latest_visible(SnapshotDescriptor(4, 0)).payload == "old"
+
+    def test_latest_visible_none_when_too_old(self):
+        record = record_of((5, "x"))
+        snapshot = SnapshotDescriptor(2, 0)
+        assert record.latest_visible(snapshot) is None
+
+    def test_visible_tombstone_is_returned(self):
+        record = record_of((1, "x"))
+        deleted = record.with_version(Version(3, TOMBSTONE))
+        visible = deleted.latest_visible(SnapshotDescriptor(3, 0))
+        assert visible.is_tombstone
+
+    def test_with_version_rejects_duplicates(self):
+        record = record_of((1, "x"))
+        with pytest.raises(InvalidState):
+            record.with_version(Version(1, "y"))
+
+    def test_without_version(self):
+        record = record_of((1, "a"), (2, "b"))
+        pruned = record.without_version(2)
+        assert pruned.version_numbers() == (1,)
+        assert record.version_numbers() == (2, 1)  # original untouched
+
+    def test_get(self):
+        record = record_of((1, "a"), (2, "b"))
+        assert record.get(2).payload == "b"
+        assert record.get(3) is None
+
+
+class TestGarbageCollection:
+    def test_definition_from_paper(self):
+        # V = {1, 3, 5, 8}, lav = 5: C = {1,3,5}, G = C \ {5} = {1,3}.
+        record = record_of((1, "a"), (3, "b"), (5, "c"), (8, "d"))
+        assert sorted(record.collectable_versions(5)) == [1, 3]
+        pruned = record.collect_garbage(5)
+        assert pruned.version_numbers() == (8, 5)
+
+    def test_newest_globally_visible_survives(self):
+        record = record_of((1, "a"), (2, "b"))
+        pruned = record.collect_garbage(100)
+        assert pruned.version_numbers() == (2,)
+
+    def test_no_candidates_no_change(self):
+        record = record_of((10, "a"), (12, "b"))
+        assert record.collect_garbage(5) is record
+
+    def test_single_version_never_collected(self):
+        record = record_of((1, "a"))
+        assert record.collect_garbage(100) is record
+
+    def test_fully_deleted(self):
+        deleted = record_of((1, "a")).with_version(Version(2, TOMBSTONE))
+        assert deleted.fully_deleted(100)
+        assert not deleted.fully_deleted(1)  # version 1 still visible
+
+    def test_gc_keeps_snapshot_reads_correct(self):
+        """GC must never remove a version some active snapshot reads."""
+        record = record_of((1, "a"), (4, "b"), (9, "c"))
+        lav = 4  # oldest active transaction has base 4
+        pruned = record.collect_garbage(lav)
+        for base in range(lav, 12):
+            snapshot = SnapshotDescriptor(base, 0)
+            before = record.latest_visible(snapshot)
+            after = pruned.latest_visible(snapshot)
+            assert (before is None) == (after is None)
+            if before is not None:
+                assert before.payload == after.payload
+
+
+# -- property-based -----------------------------------------------------------
+
+
+versions_strategy = st.lists(
+    st.integers(min_value=1, max_value=50), min_size=1, max_size=12, unique=True
+)
+
+
+@given(versions_strategy, st.integers(min_value=0, max_value=60))
+def test_gc_preserves_visibility_for_snapshots_at_or_above_lav(tids, lav):
+    record = VersionedRecord([Version(tid, f"p{tid}") for tid in tids])
+    pruned = record.collect_garbage(lav)
+    for base in range(lav, 61):
+        snapshot = SnapshotDescriptor(base, 0)
+        before = record.latest_visible(snapshot)
+        after = pruned.latest_visible(snapshot)
+        if before is None:
+            assert after is None
+        else:
+            assert after is not None and after.tid == before.tid
+
+
+@given(versions_strategy, st.integers(min_value=0, max_value=60))
+def test_gc_set_definition(tids, lav):
+    record = VersionedRecord([Version(tid, "x") for tid in tids])
+    candidates = {tid for tid in tids if tid <= lav}
+    expected = candidates - {max(candidates)} if candidates else set()
+    assert set(record.collectable_versions(lav)) == expected
+
+
+@given(versions_strategy)
+def test_at_least_one_version_always_remains(tids):
+    record = VersionedRecord([Version(tid, "x") for tid in tids])
+    pruned = record.collect_garbage(10_000)
+    assert len(pruned) >= 1

@@ -1,0 +1,187 @@
+"""Tests for processing-node recovery (Section 4.4.1)."""
+
+import pytest
+
+from repro import effects
+from repro.api.runner import DirectRunner, Router
+from repro.core.commit_manager import CommitManager
+from repro.core.processing_node import ProcessingNode
+from repro.core.recovery import discover_from_log, recover_processing_node
+from repro.core.spaces import DATA_SPACE, data_key
+from repro.core.txlog import TransactionLog
+from repro.errors import TransactionAborted
+
+K1 = data_key(1, 1)
+K2 = data_key(1, 2)
+K3 = data_key(1, 3)
+
+
+@pytest.fixture
+def env(cluster):
+    cm = CommitManager(0, cluster.execute, tid_range_size=16)
+    return cluster, cm
+
+
+def make_pn(cluster, cm, pn_id):
+    pn = ProcessingNode(pn_id)
+    return pn, DirectRunner(Router(cluster, cm, pn_id=pn_id))
+
+
+def seed(cluster, cm, rows):
+    pn, runner = make_pn(cluster, cm, 99)
+
+    def logic(txn):
+        for key, payload in rows.items():
+            txn.insert(key, payload)
+        return None
+        yield
+
+    runner.run(pn.run_transaction(logic))
+
+
+def crash_mid_commit(cluster, cm, pn_id, writes):
+    """Run a transaction up to (and including) applying its updates,
+    then 'crash' -- i.e. stop driving the coroutine before the commit
+    flag is written."""
+    pn, runner = make_pn(cluster, cm, pn_id)
+    txn = runner.run(pn.begin())
+    for key, payload in writes.items():
+        runner.run(txn.update(key, payload))
+    commit = txn.commit()
+    # Drive the commit only through the log append + data apply batch.
+    result = None
+    applied = False
+    while not applied:
+        request = commit.send(result)
+        result = runner.router.execute(request)
+        if isinstance(request, effects.Batch) and any(
+            isinstance(op, effects.PutIfVersion) for op in request.ops
+        ):
+            applied = True
+    return txn  # crashed: commit never completed
+
+
+class TestRecovery:
+    def test_mid_commit_transaction_rolled_back(self, env):
+        cluster, cm = env
+        seed(cluster, cm, {K1: ("v0",), K2: ("w0",)})
+        crashed = crash_mid_commit(cluster, cm, 5, {K1: ("bad",), K2: ("bad",)})
+        # The partially committed version is physically present...
+        record, _ = cluster.execute(effects.Get(DATA_SPACE, K1))
+        assert record.get(crashed.tid) is not None
+
+        _pn, runner = make_pn(cluster, cm, 0)
+        rolled_back = runner.run(
+            recover_processing_node(5, [cm], TransactionLog())
+        )
+        assert crashed.tid in rolled_back
+        for key in (K1, K2):
+            record, _ = cluster.execute(effects.Get(DATA_SPACE, key))
+            assert record.get(crashed.tid) is None
+
+    def test_recovery_completes_tids_so_base_advances(self, env):
+        cluster, cm = env
+        seed(cluster, cm, {K1: ("v0",)})
+        crashed = crash_mid_commit(cluster, cm, 5, {K1: ("bad",)})
+        base_before = cm.completed.base
+        _pn, runner = make_pn(cluster, cm, 0)
+        runner.run(recover_processing_node(5, [cm], TransactionLog()))
+        assert cm.completed.contains(crashed.tid)
+        assert cm.active_tids_of(5) == []
+
+    def test_active_but_not_applying_needs_no_rollback(self, env):
+        cluster, cm = env
+        seed(cluster, cm, {K1: ("v0",)})
+        pn, runner = make_pn(cluster, cm, 5)
+        txn = runner.run(pn.begin())
+        runner.run(txn.update(K1, ("never-applied",)))
+        # crash before commit: updates were only buffered on the PN
+        _pn0, runner0 = make_pn(cluster, cm, 0)
+        rolled_back = runner0.run(
+            recover_processing_node(5, [cm], TransactionLog())
+        )
+        assert rolled_back == []  # nothing applied, nothing to roll back
+        assert cm.completed.contains(txn.tid)
+        check_pn, check_runner = make_pn(cluster, cm, 0)
+        check = check_runner.run(check_pn.begin())
+        assert check_runner.run(check.read(K1)) == ("v0",)
+
+    def test_committed_transactions_left_alone(self, env):
+        cluster, cm = env
+        seed(cluster, cm, {K1: ("v0",)})
+        pn, runner = make_pn(cluster, cm, 5)
+
+        def logic(txn):
+            yield from txn.update(K1, ("committed",))
+
+        runner.run(pn.run_transaction(logic))
+        _pn0, runner0 = make_pn(cluster, cm, 0)
+        rolled_back = runner0.run(
+            recover_processing_node(5, [cm], TransactionLog())
+        )
+        assert rolled_back == []
+        check = runner0.run(_pn0.begin())
+        assert runner0.run(check.read(K1)) == ("committed",)
+
+    def test_recovery_only_touches_failed_pn(self, env):
+        cluster, cm = env
+        seed(cluster, cm, {K1: ("v0",), K2: ("w0",)})
+        crashed = crash_mid_commit(cluster, cm, 5, {K1: ("bad",)})
+        survivor = crash_mid_commit(cluster, cm, 6, {K2: ("pending",)})
+        _pn0, runner0 = make_pn(cluster, cm, 0)
+        rolled_back = runner0.run(
+            recover_processing_node(5, [cm], TransactionLog())
+        )
+        assert rolled_back == [crashed.tid]
+        record, _ = cluster.execute(effects.Get(DATA_SPACE, K2))
+        assert record.get(survivor.tid) is not None  # untouched
+
+    def test_multiple_failed_transactions_one_recovery(self, env):
+        cluster, cm = env
+        seed(cluster, cm, {K1: ("a",), K2: ("b",), K3: ("c",)})
+        t1 = crash_mid_commit(cluster, cm, 5, {K1: ("x",)})
+        t2 = crash_mid_commit(cluster, cm, 5, {K2: ("y",), K3: ("z",)})
+        _pn0, runner0 = make_pn(cluster, cm, 0)
+        rolled_back = runner0.run(
+            recover_processing_node(5, [cm], TransactionLog())
+        )
+        assert set(rolled_back) == {t1.tid, t2.tid}
+
+    def test_discovery_from_log_walk(self, env):
+        """The fallback walk (highest tid down to the lav) finds the same
+        transactions without commit-manager state."""
+        cluster, cm = env
+        seed(cluster, cm, {K1: ("v0",)})
+        crashed = crash_mid_commit(cluster, cm, 5, {K1: ("bad",)})
+        highest = cm.last_assigned_tid
+        _pn0, runner0 = make_pn(cluster, cm, 0)
+        rolled_back = runner0.run(
+            discover_from_log(5, highest, 0, TransactionLog())
+        )
+        assert crashed.tid in rolled_back
+        record, _ = cluster.execute(effects.Get(DATA_SPACE, K1))
+        assert record.get(crashed.tid) is None
+
+    def test_recovered_state_is_consistent_for_new_transactions(self, env):
+        cluster, cm = env
+        seed(cluster, cm, {K1: (100,), K2: (200,)})
+        crash_mid_commit(cluster, cm, 5, {K1: (1,), K2: (2,)})
+        _pn0, runner0 = make_pn(cluster, cm, 0)
+        runner0.run(recover_processing_node(5, [cm], TransactionLog()))
+        txn = runner0.run(_pn0.begin())
+        values = runner0.run(txn.read_many([K1, K2]))
+        assert values == {K1: (100,), K2: (200,)}
+
+
+class TestDatabaseLevelRecovery:
+    def test_crash_processing_node_api(self, db):
+        session = db.session()
+        session.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+        session.execute("INSERT INTO t VALUES (1, 10)")
+        # open a transaction on a second PN and leave it hanging
+        other = db.session()
+        other.execute("BEGIN")
+        other.execute("UPDATE t SET v = 99 WHERE id = 1")
+        db.crash_processing_node(other.pn.pn_id)
+        rows = session.query("SELECT v FROM t WHERE id = 1")
+        assert rows == [{"v": 10}]

@@ -1,0 +1,173 @@
+"""Tests for the simulated deployment and its cost model."""
+
+import pytest
+
+from repro import effects
+from repro.bench.config import TellConfig
+from repro.bench.simcluster import CorePool, SimFabric, SimulatedTell
+from repro.workloads.tpcc.params import TpccScale
+
+
+def tiny_config(**overrides):
+    defaults = dict(
+        processing_nodes=1,
+        storage_nodes=2,
+        threads_per_pn=4,
+        scale=TpccScale.tiny(2),
+        duration_us=60_000.0,
+        warmup_us=10_000.0,
+        seed=5,
+    )
+    defaults.update(overrides)
+    return TellConfig(**defaults)
+
+
+class TestCorePool:
+    def test_single_core_serializes(self):
+        pool = CorePool(1)
+        start1, end1 = pool.reserve(0.0, 10.0)
+        start2, end2 = pool.reserve(0.0, 10.0)
+        assert (start1, end1) == (0.0, 10.0)
+        assert (start2, end2) == (10.0, 20.0)
+
+    def test_multi_core_parallel(self):
+        pool = CorePool(2)
+        assert pool.reserve(0.0, 10.0) == (0.0, 10.0)
+        assert pool.reserve(0.0, 10.0) == (0.0, 10.0)
+        assert pool.reserve(0.0, 10.0) == (10.0, 20.0)
+
+    def test_idle_gap(self):
+        pool = CorePool(1)
+        pool.reserve(0.0, 5.0)
+        assert pool.reserve(100.0, 5.0) == (100.0, 105.0)
+
+    def test_earliest_peeks(self):
+        pool = CorePool(1)
+        pool.reserve(0.0, 5.0)
+        assert pool.earliest(0.0) == 5.0
+        assert pool.earliest(10.0) == 10.0
+
+
+class TestSimulatedRun:
+    def test_small_run_commits_transactions(self):
+        deployment = SimulatedTell(tiny_config())
+        deployment.load()
+        metrics = deployment.run()
+        assert metrics.total_committed > 20
+        assert metrics.tpmc > 0
+        assert metrics.measured_time_us == 50_000.0
+
+    def test_deterministic_with_same_seed(self):
+        runs = []
+        for _ in range(2):
+            deployment = SimulatedTell(tiny_config())
+            deployment.load()
+            metrics = deployment.run()
+            runs.append(
+                (metrics.total_committed, metrics.total_conflicts,
+                 dict(metrics.committed))
+            )
+        assert runs[0] == runs[1]
+
+    def test_different_seed_different_run(self):
+        a = SimulatedTell(tiny_config(seed=5))
+        a.load()
+        b = SimulatedTell(tiny_config(seed=6))
+        b.load()
+        assert a.run().total_committed != b.run().total_committed
+
+    def test_more_pns_more_throughput(self):
+        one = SimulatedTell(tiny_config(scale=TpccScale.small(16)))
+        one.load()
+        tpmc_one = one.run().tpmc
+        four = SimulatedTell(
+            tiny_config(processing_nodes=4, scale=TpccScale.small(16))
+        )
+        four.load()
+        tpmc_four = four.run().tpmc
+        assert tpmc_four > tpmc_one * 1.5
+
+    def test_replication_costs_throughput_under_writes(self):
+        rf1 = SimulatedTell(tiny_config(storage_nodes=3))
+        rf1.load()
+        tpmc_rf1 = rf1.run().tpmc
+        rf3 = SimulatedTell(
+            tiny_config(storage_nodes=3, replication_factor=3)
+        )
+        rf3.load()
+        tpmc_rf3 = rf3.run().tpmc
+        assert tpmc_rf3 < tpmc_rf1
+
+    def test_infiniband_beats_ethernet(self):
+        ib = SimulatedTell(tiny_config())
+        ib.load()
+        tpmc_ib = ib.run().tpmc
+        eth = SimulatedTell(tiny_config(network="ethernet-10g"))
+        eth.load()
+        tpmc_eth = eth.run().tpmc
+        assert tpmc_ib > tpmc_eth * 2
+
+    def test_latencies_recorded(self):
+        deployment = SimulatedTell(tiny_config())
+        deployment.load()
+        metrics = deployment.run()
+        stats = metrics.latency("new_order")
+        assert stats.count > 0
+        assert 0 < stats.mean_us < 1e6
+
+    def test_replicas_identical_after_run(self):
+        config = tiny_config(storage_nodes=3, replication_factor=2)
+        deployment = SimulatedTell(config)
+        deployment.load()
+        deployment.run()
+        deployment.quiesce()
+        cluster = deployment.cluster
+        for pid in range(cluster.partitioner.n_partitions):
+            replicas = cluster.partition_map.replicas_of(pid)
+            reference = None
+            for node_id in replicas:
+                cells = cluster.nodes[node_id].partition(pid).spaces.get("data", {})
+                snapshot = {k: (c.value.version_numbers(), c.version)
+                            for k, c in cells.items()}
+                if reference is None:
+                    reference = snapshot
+                else:
+                    assert snapshot == reference
+
+    def test_quiesce_idempotent(self):
+        deployment = SimulatedTell(tiny_config())
+        deployment.load()
+        deployment.run()
+        deployment.quiesce()
+        assert deployment.quiesce() == 0
+
+    def test_batching_reduces_messages(self):
+        batched = SimulatedTell(tiny_config())
+        batched.load()
+        batched.run()
+        unbatched = SimulatedTell(tiny_config(batching=False))
+        unbatched.load()
+        unbatched.run()
+        per_txn_batched = (
+            batched.fabric.stats.messages
+            / max(1, batched.metrics.total_finished)
+        )
+        per_txn_unbatched = (
+            unbatched.fabric.stats.messages
+            / max(1, unbatched.metrics.total_finished)
+        )
+        assert per_txn_batched < per_txn_unbatched
+
+    def test_commit_managers_scale_without_breaking(self):
+        config = tiny_config(commit_managers=2, processing_nodes=2)
+        deployment = SimulatedTell(config)
+        deployment.load()
+        metrics = deployment.run()
+        assert metrics.total_committed > 20
+        deployment.quiesce()
+        # tids unique across managers: every version distinct
+        seen = set()
+        rows = deployment.cluster.execute(effects.Scan("txlog", None, None))
+        for key, _entry, _version in rows:
+            assert key not in seen
+            seen.add(key)

@@ -1,0 +1,302 @@
+"""Tests for SQL execution through the embedded database."""
+
+import pytest
+
+from repro.api import Database
+from repro.errors import (
+    DuplicateKey,
+    SchemaError,
+    SqlPlanError,
+    TransactionAborted,
+)
+
+
+@pytest.fixture
+def session():
+    db = Database(storage_nodes=2)
+    session = db.session()
+    session.execute(
+        "CREATE TABLE emp (id INT PRIMARY KEY, name TEXT NOT NULL, "
+        "dept TEXT, salary DECIMAL, boss INT)"
+    )
+    session.execute("CREATE INDEX emp_dept ON emp (dept)")
+    session.execute(
+        "INSERT INTO emp VALUES "
+        "(1, 'ann', 'eng', 120, NULL), "
+        "(2, 'bob', 'eng', 100, 1), "
+        "(3, 'cat', 'sales', 90, 1), "
+        "(4, 'dan', 'sales', 80, 3), "
+        "(5, 'eve', NULL, 70, 3)"
+    )
+    return session
+
+
+class TestSelect:
+    def test_projection_and_order(self, session):
+        rows = session.query("SELECT name FROM emp ORDER BY salary DESC")
+        assert [r["name"] for r in rows] == ["ann", "bob", "cat", "dan", "eve"]
+
+    def test_where_point_lookup(self, session):
+        rows = session.query("SELECT name FROM emp WHERE id = 3")
+        assert rows == [{"name": "cat"}]
+
+    def test_where_secondary_index(self, session):
+        rows = session.query(
+            "SELECT name FROM emp WHERE dept = 'eng' ORDER BY id"
+        )
+        assert [r["name"] for r in rows] == ["ann", "bob"]
+
+    def test_where_range(self, session):
+        rows = session.query(
+            "SELECT name FROM emp WHERE salary >= 90 AND salary < 120 ORDER BY id"
+        )
+        assert [r["name"] for r in rows] == ["bob", "cat"]
+
+    def test_where_between_and_in(self, session):
+        rows = session.query(
+            "SELECT id FROM emp WHERE salary BETWEEN 80 AND 100 "
+            "AND dept IN ('eng', 'sales') ORDER BY id"
+        )
+        assert [r["id"] for r in rows] == [2, 3, 4]
+
+    def test_like(self, session):
+        rows = session.query("SELECT name FROM emp WHERE name LIKE '%a%' ORDER BY id")
+        assert [r["name"] for r in rows] == ["ann", "cat", "dan"]
+
+    def test_null_semantics(self, session):
+        rows = session.query("SELECT id FROM emp WHERE dept IS NULL")
+        assert rows == [{"id": 5}]
+        # NULL comparisons never match
+        rows = session.query("SELECT id FROM emp WHERE dept = 'x' OR boss = 99")
+        assert rows == []
+
+    def test_expressions(self, session):
+        rows = session.query(
+            "SELECT name, salary * 2 AS double_pay FROM emp WHERE id = 1"
+        )
+        assert rows == [{"name": "ann", "double_pay": 240.0}]
+
+    def test_scalar_functions(self, session):
+        rows = session.query(
+            "SELECT UPPER(name) AS u, ABS(0 - salary) AS a FROM emp WHERE id = 1"
+        )
+        assert rows == [{"u": "ANN", "a": 120.0}]
+
+    def test_limit(self, session):
+        rows = session.query("SELECT id FROM emp ORDER BY id LIMIT 2")
+        assert [r["id"] for r in rows] == [1, 2]
+
+    def test_distinct(self, session):
+        rows = session.query(
+            "SELECT DISTINCT dept FROM emp WHERE dept IS NOT NULL ORDER BY dept"
+        )
+        assert [r["dept"] for r in rows] == ["eng", "sales"]
+
+    def test_select_without_from(self, session):
+        rows = session.query("SELECT 1 + 1 AS two")
+        assert rows == [{"two": 2}]
+
+    def test_unknown_column_rejected(self, session):
+        with pytest.raises(SqlPlanError):
+            session.query("SELECT nope FROM emp")
+
+    def test_unknown_table_rejected(self, session):
+        with pytest.raises(SchemaError):
+            session.query("SELECT * FROM ghost")
+
+
+class TestAggregation:
+    def test_global_aggregates(self, session):
+        rows = session.query(
+            "SELECT COUNT(*) AS n, SUM(salary) AS total, AVG(salary) AS avg, "
+            "MIN(salary) AS lo, MAX(salary) AS hi FROM emp"
+        )
+        assert rows == [{"n": 5, "total": 460.0, "avg": 92.0, "lo": 70.0,
+                         "hi": 120.0}]
+
+    def test_count_ignores_nulls(self, session):
+        rows = session.query("SELECT COUNT(dept) AS n FROM emp")
+        assert rows == [{"n": 4}]
+
+    def test_count_distinct(self, session):
+        rows = session.query("SELECT COUNT(DISTINCT dept) AS n FROM emp")
+        assert rows == [{"n": 2}]
+
+    def test_group_by(self, session):
+        rows = session.query(
+            "SELECT dept, COUNT(*) AS n, SUM(salary) AS total FROM emp "
+            "WHERE dept IS NOT NULL GROUP BY dept ORDER BY dept"
+        )
+        assert rows == [
+            {"dept": "eng", "n": 2, "total": 220.0},
+            {"dept": "sales", "n": 2, "total": 170.0},
+        ]
+
+    def test_having(self, session):
+        rows = session.query(
+            "SELECT dept FROM emp WHERE dept IS NOT NULL GROUP BY dept "
+            "HAVING SUM(salary) > 200"
+        )
+        assert rows == [{"dept": "eng"}]
+
+    def test_aggregate_on_empty_input(self, session):
+        rows = session.query(
+            "SELECT COUNT(*) AS n, SUM(salary) AS s FROM emp WHERE id > 100"
+        )
+        assert rows == [{"n": 0, "s": None}]
+
+    def test_order_by_aggregate(self, session):
+        rows = session.query(
+            "SELECT dept FROM emp WHERE dept IS NOT NULL GROUP BY dept "
+            "ORDER BY SUM(salary) DESC"
+        )
+        assert [r["dept"] for r in rows] == ["eng", "sales"]
+
+
+class TestJoins:
+    def test_self_join_via_index(self, session):
+        rows = session.query(
+            "SELECT e.name AS emp, b.name AS boss FROM emp e "
+            "JOIN emp b ON b.id = e.boss ORDER BY e.id"
+        )
+        assert rows == [
+            {"emp": "bob", "boss": "ann"},
+            {"emp": "cat", "boss": "ann"},
+            {"emp": "dan", "boss": "cat"},
+            {"emp": "eve", "boss": "cat"},
+        ]
+
+    def test_left_join_keeps_unmatched(self, session):
+        rows = session.query(
+            "SELECT e.name AS emp, b.name AS boss FROM emp e "
+            "LEFT JOIN emp b ON b.id = e.boss ORDER BY e.id"
+        )
+        assert rows[0] == {"emp": "ann", "boss": None}
+        assert len(rows) == 5
+
+    def test_join_with_filter(self, session):
+        rows = session.query(
+            "SELECT e.name FROM emp e JOIN emp b ON b.id = e.boss "
+            "WHERE b.dept = 'sales' ORDER BY e.id"
+        )
+        assert [r["name"] for r in rows] == ["dan", "eve"]
+
+    def test_join_on_non_indexed_equality(self, session):
+        # dept = dept: hash join path
+        rows = session.query(
+            "SELECT COUNT(*) AS n FROM emp a JOIN emp b ON a.dept = b.dept"
+        )
+        # eng x eng (4) + sales x sales (4); NULL dept never matches
+        assert rows == [{"n": 8}]
+
+    def test_three_way_join(self, session):
+        rows = session.query(
+            "SELECT e.name FROM emp e "
+            "JOIN emp b ON b.id = e.boss "
+            "JOIN emp g ON g.id = b.boss "
+            "ORDER BY e.id"
+        )
+        assert [r["name"] for r in rows] == ["dan", "eve"]
+
+
+class TestDml:
+    def test_update_with_expression(self, session):
+        count = session.execute(
+            "UPDATE emp SET salary = salary + 10 WHERE dept = 'eng'"
+        ).rowcount
+        assert count == 2
+        rows = session.query("SELECT SUM(salary) AS s FROM emp")
+        assert rows == [{"s": 480.0}]
+
+    def test_update_via_pk(self, session):
+        session.execute("UPDATE emp SET name = 'anna' WHERE id = 1")
+        assert session.query("SELECT name FROM emp WHERE id = 1") == [
+            {"name": "anna"}
+        ]
+
+    def test_delete(self, session):
+        session.execute("DELETE FROM emp WHERE salary < 90")
+        rows = session.query("SELECT COUNT(*) AS n FROM emp")
+        assert rows == [{"n": 3}]
+
+    def test_insert_with_defaults_and_nulls(self, session):
+        session.execute("INSERT INTO emp (id, name) VALUES (10, 'zoe')")
+        rows = session.query("SELECT dept, salary FROM emp WHERE id = 10")
+        assert rows == [{"dept": None, "salary": None}]
+
+    def test_not_null_enforced(self, session):
+        with pytest.raises(SchemaError):
+            session.execute("INSERT INTO emp (id) VALUES (11)")
+
+    def test_duplicate_pk_rejected(self, session):
+        with pytest.raises(DuplicateKey):
+            session.execute("INSERT INTO emp (id, name) VALUES (1, 'dup')")
+
+    def test_pk_update_finds_row_under_new_key(self, session):
+        session.execute("UPDATE emp SET id = 100 WHERE id = 5")
+        assert session.query("SELECT name FROM emp WHERE id = 100") == [
+            {"name": "eve"}
+        ]
+        assert session.query("SELECT name FROM emp WHERE id = 5") == []
+
+    def test_parameterized_statements(self, session):
+        session.execute(
+            "INSERT INTO emp VALUES (?, ?, ?, ?, ?)",
+            [20, "pam", "eng", 95.0, None],
+        )
+        rows = session.query("SELECT name FROM emp WHERE id = ?", [20])
+        assert rows == [{"name": "pam"}]
+
+
+class TestTransactions:
+    def test_explicit_commit(self, session):
+        session.execute("BEGIN")
+        session.execute("UPDATE emp SET salary = 0 WHERE id = 1")
+        session.execute("COMMIT")
+        assert session.query("SELECT salary FROM emp WHERE id = 1") == [
+            {"salary": 0.0}
+        ]
+
+    def test_rollback_reverts(self, session):
+        session.execute("BEGIN")
+        session.execute("DELETE FROM emp")
+        assert session.query("SELECT COUNT(*) AS n FROM emp") == [{"n": 0}]
+        session.execute("ROLLBACK")
+        assert session.query("SELECT COUNT(*) AS n FROM emp") == [{"n": 5}]
+
+    def test_conflicting_sessions(self, session):
+        db_session_b = Database.__new__(Database)  # placeholder, not used
+        # Two sessions on the same database conflict on the same row.
+        other = _second_session(session)
+        session.execute("BEGIN")
+        other.execute("BEGIN")
+        session.execute("UPDATE emp SET salary = 1 WHERE id = 2")
+        other.execute("UPDATE emp SET salary = 2 WHERE id = 2")
+        session.execute("COMMIT")
+        with pytest.raises(TransactionAborted):
+            other.execute("COMMIT")
+
+    def test_snapshot_reads_inside_transaction(self, session):
+        other = _second_session(session)
+        session.execute("BEGIN")
+        session.query("SELECT salary FROM emp WHERE id = 1")
+        other.execute("UPDATE emp SET salary = 555 WHERE id = 1")
+        rows = session.query("SELECT salary FROM emp WHERE id = 1")
+        assert rows == [{"salary": 120.0}]  # snapshot unchanged
+        session.execute("COMMIT")
+        rows = session.query("SELECT salary FROM emp WHERE id = 1")
+        assert rows == [{"salary": 555.0}]
+
+
+def _second_session(session):
+    """Another session against the same database (shares the cluster)."""
+    from repro.sql.session import Session
+    from repro.sql.table import IndexManager
+    from repro.api.runner import DirectRunner, Router
+    from repro.core.processing_node import ProcessingNode
+
+    cluster = session.runner.router.cluster
+    cm = session.runner.router.commit_manager
+    pn = ProcessingNode(77)
+    return Session(pn, DirectRunner(Router(cluster, cm, pn_id=77)),
+                   IndexManager())

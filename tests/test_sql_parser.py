@@ -1,0 +1,207 @@
+"""Tests for the SQL lexer and parser."""
+
+import pytest
+
+from repro.errors import SqlSyntaxError
+from repro.sql import ast_nodes as ast
+from repro.sql.lexer import tokenize
+from repro.sql.parser import parse
+
+
+class TestLexer:
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("select SeLeCt SELECT")
+        assert all(t.kind == "KEYWORD" and t.value == "SELECT"
+                   for t in tokens[:-1])
+
+    def test_identifiers_lowercased(self):
+        tokens = tokenize("MyTable")
+        assert tokens[0].kind == "IDENT" and tokens[0].value == "mytable"
+
+    def test_numbers(self):
+        tokens = tokenize("42 3.14 .5")
+        assert tokens[0].value == 42 and isinstance(tokens[0].value, int)
+        assert tokens[1].value == 3.14
+        assert tokens[2].value == 0.5
+
+    def test_strings_with_escaped_quote(self):
+        tokens = tokenize("'it''s'")
+        assert tokens[0].kind == "STRING" and tokens[0].value == "it's"
+
+    def test_unterminated_string(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("'oops")
+
+    def test_comments_skipped(self):
+        tokens = tokenize("SELECT -- comment here\n 1")
+        assert [t.kind for t in tokens] == ["KEYWORD", "NUMBER", "EOF"]
+
+    def test_two_char_symbols(self):
+        tokens = tokenize("<= >= <> !=")
+        assert [t.value for t in tokens[:-1]] == ["<=", ">=", "<>", "!="]
+
+    def test_unknown_character(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("SELECT @")
+
+
+class TestSelectParsing:
+    def test_simple(self):
+        stmt = parse("SELECT a, b FROM t")
+        assert isinstance(stmt, ast.Select)
+        assert stmt.table.name == "t"
+        assert len(stmt.items) == 2
+
+    def test_star(self):
+        stmt = parse("SELECT * FROM t")
+        assert stmt.items[0].star
+
+    def test_table_star(self):
+        stmt = parse("SELECT t.* FROM t")
+        assert stmt.items[0].table_star == "t"
+
+    def test_aliases(self):
+        stmt = parse("SELECT a AS x, b y FROM t AS u")
+        assert stmt.items[0].alias == "x"
+        assert stmt.items[1].alias == "y"
+        assert stmt.table.alias == "u"
+
+    def test_where_precedence(self):
+        stmt = parse("SELECT a FROM t WHERE a = 1 OR b = 2 AND c = 3")
+        assert isinstance(stmt.where, ast.BinaryOp)
+        assert stmt.where.op == "or"
+        assert stmt.where.right.op == "and"
+
+    def test_arithmetic_precedence(self):
+        stmt = parse("SELECT 1 + 2 * 3")
+        expr = stmt.items[0].expr
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_parentheses(self):
+        stmt = parse("SELECT (1 + 2) * 3")
+        assert stmt.items[0].expr.op == "*"
+
+    def test_joins(self):
+        stmt = parse(
+            "SELECT * FROM a JOIN b ON a.id = b.id "
+            "LEFT JOIN c ON b.id = c.id"
+        )
+        assert len(stmt.joins) == 2
+        assert stmt.joins[0].kind == "inner"
+        assert stmt.joins[1].kind == "left"
+
+    def test_group_having_order_limit(self):
+        stmt = parse(
+            "SELECT a, COUNT(*) FROM t GROUP BY a HAVING COUNT(*) > 2 "
+            "ORDER BY a DESC, b LIMIT 10"
+        )
+        assert len(stmt.group_by) == 1
+        assert stmt.having is not None
+        assert stmt.order_by[0][1] is True   # DESC
+        assert stmt.order_by[1][1] is False  # implicit ASC
+        assert stmt.limit == 10
+
+    def test_in_between_like_isnull(self):
+        stmt = parse(
+            "SELECT * FROM t WHERE a IN (1,2) AND b BETWEEN 1 AND 5 "
+            "AND c LIKE 'x%' AND d IS NOT NULL AND e NOT IN (3)"
+        )
+        assert stmt.where is not None
+
+    def test_params(self):
+        stmt = parse("SELECT * FROM t WHERE a = ? AND b = ?")
+        conj = stmt.where
+        assert conj.left.right.index == 0
+        assert conj.right.right.index == 1
+
+    def test_functions(self):
+        stmt = parse("SELECT COUNT(*), SUM(a), COUNT(DISTINCT b) FROM t")
+        assert stmt.items[0].expr.star
+        assert stmt.items[1].expr.name == "sum"
+        assert stmt.items[2].expr.distinct
+
+    def test_distinct(self):
+        assert parse("SELECT DISTINCT a FROM t").distinct
+
+    def test_negative_numbers(self):
+        stmt = parse("SELECT -5, -a FROM t")
+        assert isinstance(stmt.items[0].expr, ast.UnaryOp)
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("SELECT 1 FROM t garbage extra tokens ,")
+
+    def test_limit_requires_integer(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("SELECT 1 FROM t LIMIT 'x'")
+
+
+class TestDmlParsing:
+    def test_insert_with_columns(self):
+        stmt = parse("INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')")
+        assert stmt.columns == ["a", "b"]
+        assert len(stmt.rows) == 2
+
+    def test_insert_without_columns(self):
+        stmt = parse("INSERT INTO t VALUES (1, 2)")
+        assert stmt.columns is None
+
+    def test_update(self):
+        stmt = parse("UPDATE t SET a = a + 1, b = ? WHERE id = 3")
+        assert len(stmt.assignments) == 2
+        assert stmt.where is not None
+
+    def test_delete(self):
+        stmt = parse("DELETE FROM t WHERE a < 5")
+        assert stmt.table == "t"
+
+    def test_delete_without_where(self):
+        stmt = parse("DELETE FROM t")
+        assert stmt.where is None
+
+
+class TestDdlParsing:
+    def test_create_table(self):
+        stmt = parse(
+            "CREATE TABLE t (id INT NOT NULL, name VARCHAR(20) DEFAULT 'x', "
+            "amount DECIMAL(12,2), PRIMARY KEY (id))"
+        )
+        assert stmt.name == "t"
+        assert len(stmt.columns) == 3
+        assert stmt.primary_key == ["id"]
+        assert stmt.columns[0].nullable is False
+        assert stmt.columns[1].default == "x"
+
+    def test_inline_primary_key(self):
+        stmt = parse("CREATE TABLE t (id INT PRIMARY KEY, v TEXT)")
+        assert stmt.primary_key == ["id"]
+
+    def test_composite_primary_key(self):
+        stmt = parse("CREATE TABLE t (a INT, b INT, PRIMARY KEY (a, b))")
+        assert stmt.primary_key == ["a", "b"]
+
+    def test_missing_primary_key_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("CREATE TABLE t (a INT)")
+
+    def test_create_index(self):
+        stmt = parse("CREATE INDEX idx ON t (a, b)")
+        assert stmt.columns == ["a", "b"] and not stmt.unique
+
+    def test_create_unique_index(self):
+        assert parse("CREATE UNIQUE INDEX idx ON t (a)").unique
+
+    def test_drop_table(self):
+        assert parse("DROP TABLE t").name == "t"
+
+
+class TestTransactionStatements:
+    def test_begin_commit_rollback(self):
+        assert isinstance(parse("BEGIN"), ast.BeginStmt)
+        assert isinstance(parse("COMMIT"), ast.CommitStmt)
+        assert isinstance(parse("ROLLBACK"), ast.RollbackStmt)
+        assert isinstance(parse("ABORT"), ast.RollbackStmt)
+
+    def test_semicolon_tolerated(self):
+        assert isinstance(parse("COMMIT;"), ast.CommitStmt)

@@ -1,0 +1,279 @@
+"""Tests for the storage substrate: nodes, LL/SC, partitioning, batches."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import effects
+from repro.errors import KeyNotFound, NoCapacity, NodeUnavailable
+from repro.store.cell import approx_size
+from repro.store.cluster import StorageCluster
+from repro.store.node import StorageNode
+from repro.store.partition import HashPartitioner, PartitionMap, stable_hash
+
+
+class TestStableHash:
+    def test_deterministic_across_calls(self):
+        assert stable_hash(("a", 1)) == stable_hash(("a", 1))
+
+    def test_spreads_keys(self):
+        values = {stable_hash((1, i)) % 64 for i in range(1000)}
+        assert len(values) == 64
+
+    def test_types(self):
+        for key in (1, "x", b"y", (1, "x"), None, True):
+            assert isinstance(stable_hash(key), int)
+
+    def test_unhashable_type_raises(self):
+        with pytest.raises(TypeError):
+            stable_hash([1, 2])
+
+
+class TestPartitionMap:
+    def test_round_robin_masters_balanced(self):
+        pmap = PartitionMap(12, [0, 1, 2], replication_factor=1)
+        counts = {n: len(pmap.partitions_mastered_by(n)) for n in (0, 1, 2)}
+        assert set(counts.values()) == {4}
+
+    def test_replicas_distinct_nodes(self):
+        pmap = PartitionMap(9, [0, 1, 2], replication_factor=3)
+        for pid in range(9):
+            replicas = pmap.replicas_of(pid)
+            assert len(set(replicas)) == 3
+
+    def test_rf_exceeding_nodes_rejected(self):
+        from repro.errors import InvalidState
+
+        with pytest.raises(InvalidState):
+            PartitionMap(4, [0, 1], replication_factor=3)
+
+    def test_fail_over_promotes_backup(self):
+        pmap = PartitionMap(6, [0, 1, 2], replication_factor=2)
+        mastered = pmap.partitions_mastered_by(0)
+        degraded = pmap.fail_over(0, [1, 2])
+        for pid in mastered:
+            assert pmap.master_of(pid) != 0
+        assert set(degraded) >= set(mastered)
+
+    def test_fail_over_last_replica_raises(self):
+        pmap = PartitionMap(2, [0, 1], replication_factor=1)
+        victim = pmap.master_of(0)
+        with pytest.raises(NodeUnavailable):
+            pmap.fail_over(victim, [n for n in (0, 1) if n != victim])
+
+    def test_pick_new_host_avoids_current(self):
+        pmap = PartitionMap(3, [0, 1, 2], replication_factor=2)
+        current = set(pmap.replicas_of(0))
+        choice = pmap.pick_new_host(0, [0, 1, 2])
+        assert choice not in current
+
+
+class TestStorageNode:
+    def test_put_get_roundtrip(self):
+        node = StorageNode(0)
+        node.host_partition(0)
+        version, _ = node.do_put(0, "data", "k", "v")
+        assert version == 1
+        (value, cell_version), _ = node.do_get(0, "data", "k")
+        assert value == "v" and cell_version == 1
+
+    def test_get_missing(self):
+        node = StorageNode(0)
+        node.host_partition(0)
+        (value, version), _ = node.do_get(0, "data", "nope")
+        assert value is None and version == 0
+
+    def test_version_increments_every_write(self):
+        node = StorageNode(0)
+        node.host_partition(0)
+        for expected in (1, 2, 3):
+            version, _ = node.do_put(0, "data", "k", f"v{expected}")
+            assert version == expected
+
+    def test_ll_sc_success_and_failure(self):
+        node = StorageNode(0)
+        node.host_partition(0)
+        node.do_put(0, "data", "k", "v1")
+        (ok, version), _ = node.do_put_if_version(0, "data", "k", "v2", 1)
+        assert ok and version == 2
+        (ok, current), _ = node.do_put_if_version(0, "data", "k", "v3", 1)
+        assert not ok and current == 2
+
+    def test_ll_sc_aba_immunity(self):
+        """A value changed and changed back still fails the conditional
+        write -- the property CAS lacks and LL/SC provides."""
+        node = StorageNode(0)
+        node.host_partition(0)
+        node.do_put(0, "data", "k", "A")          # version 1
+        node.do_put(0, "data", "k", "B")          # version 2
+        node.do_put(0, "data", "k", "A")          # version 3, value back to A
+        (ok, current), _ = node.do_put_if_version(0, "data", "k", "C", 1)
+        assert not ok and current == 3
+
+    def test_ll_sc_insert_expects_zero(self):
+        node = StorageNode(0)
+        node.host_partition(0)
+        (ok, version), _ = node.do_put_if_version(0, "data", "new", "v", 0)
+        assert ok and version == 1
+        (ok, _), _ = node.do_put_if_version(0, "data", "new", "v2", 0)
+        assert not ok
+
+    def test_delete(self):
+        node = StorageNode(0)
+        node.host_partition(0)
+        node.do_put(0, "data", "k", "v")
+        deleted, _ = node.do_delete(0, "data", "k")
+        assert deleted
+        deleted, _ = node.do_delete(0, "data", "k")
+        assert not deleted
+
+    def test_delete_if_version(self):
+        node = StorageNode(0)
+        node.host_partition(0)
+        node.do_put(0, "data", "k", "v")
+        (ok, _), _ = node.do_delete_if_version(0, "data", "k", 99)
+        assert not ok
+        (ok, _), _ = node.do_delete_if_version(0, "data", "k", 1)
+        assert ok
+
+    def test_increment(self):
+        node = StorageNode(0)
+        node.host_partition(0)
+        value, _ = node.do_increment(0, "meta", "counter", 5)
+        assert value == 5
+        value, _ = node.do_increment(0, "meta", "counter", 3)
+        assert value == 8
+
+    def test_scan_sorted_with_bounds_and_limit(self):
+        node = StorageNode(0)
+        node.host_partition(0)
+        for key in (5, 1, 9, 3, 7):
+            node.do_put(0, "data", key, f"v{key}")
+        rows, _ = node.do_scan(0, "data", 3, 9, None)
+        assert [key for key, _v, _c in rows] == [3, 5, 7]
+        rows, _ = node.do_scan(0, "data", None, None, 2)
+        assert [key for key, _v, _c in rows] == [1, 3]
+
+    def test_scan_cache_invalidation_on_write(self):
+        node = StorageNode(0)
+        node.host_partition(0)
+        node.do_put(0, "data", 1, "a")
+        node.do_scan(0, "data", None, None, None)
+        node.do_put(0, "data", 2, "b")
+        rows, _ = node.do_scan(0, "data", None, None, None)
+        assert len(rows) == 2
+
+    def test_capacity_limit(self):
+        node = StorageNode(0, capacity_bytes=64)
+        node.host_partition(0)
+        with pytest.raises(NoCapacity):
+            node.do_put(0, "data", "k", "x" * 1000)
+
+    def test_memory_accounting_on_delete(self):
+        node = StorageNode(0)
+        node.host_partition(0)
+        node.do_put(0, "data", "k", "x" * 100)
+        used = node.bytes_used
+        assert used > 100
+        node.do_delete(0, "data", "k")
+        assert node.bytes_used == 0
+
+    def test_crash_drops_data(self):
+        node = StorageNode(0)
+        node.host_partition(0)
+        node.do_put(0, "data", "k", "v")
+        node.crash()
+        assert not node.alive
+        with pytest.raises(NodeUnavailable):
+            node.do_get(0, "data", "k")
+
+    def test_unknown_partition(self):
+        node = StorageNode(0)
+        with pytest.raises(KeyNotFound):
+            node.do_get(42, "data", "k")
+
+
+class TestStorageCluster:
+    def test_execute_put_get(self, cluster):
+        cluster.execute(effects.Put("data", "k", "v"))
+        assert cluster.execute(effects.Get("data", "k")) == ("v", 1)
+
+    def test_batch_preserves_order(self, cluster):
+        for i in range(10):
+            cluster.execute(effects.Put("data", i, f"v{i}"))
+        results = cluster.execute(effects.multi_get("data", list(range(10))))
+        assert [value for value, _v in results] == [f"v{i}" for i in range(10)]
+
+    def test_scan_across_partitions(self, cluster):
+        for i in range(50):
+            cluster.execute(effects.Put("data", i, i * 10))
+        rows = cluster.execute(effects.Scan("data", 10, 20))
+        assert [key for key, _v, _c in rows] == list(range(10, 20))
+
+    def test_keys_spread_over_nodes(self, cluster):
+        for i in range(200):
+            cluster.execute(effects.Put("data", i, "v"))
+        used = [node.bytes_used for node in cluster.nodes.values()]
+        assert all(bytes_used > 0 for bytes_used in used)
+
+    def test_replication_copies_to_backups(self, replicated_cluster):
+        cluster = replicated_cluster
+        cluster.execute(effects.Put("data", "k", "value"))
+        pid = cluster.partition_of("k")
+        for node_id in cluster.partition_map.replicas_of(pid):
+            cells = cluster.nodes[node_id].partition(pid).space("data")
+            assert cells["k"].value == "value"
+            assert cells["k"].version == 1
+
+    def test_replication_of_deletes(self, replicated_cluster):
+        cluster = replicated_cluster
+        cluster.execute(effects.Put("data", "k", "value"))
+        cluster.execute(effects.Delete("data", "k"))
+        pid = cluster.partition_of("k")
+        for node_id in cluster.partition_map.replicas_of(pid):
+            cells = cluster.nodes[node_id].partition(pid).space("data")
+            assert "k" not in cells
+
+    def test_failed_conditional_write_not_replicated(self, replicated_cluster):
+        cluster = replicated_cluster
+        cluster.execute(effects.Put("data", "k", "v1"))
+        ok, _ = cluster.execute(effects.PutIfVersion("data", "k", "v2", 99))
+        assert not ok
+        pid = cluster.partition_of("k")
+        for node_id in cluster.partition_map.replicas_of(pid):
+            cells = cluster.nodes[node_id].partition(pid).space("data")
+            assert cells["k"].value == "v1"
+
+    def test_routing_identifies_writes(self, cluster):
+        assert cluster.routing(effects.Put("data", "k", "v")).is_write
+        assert not cluster.routing(effects.Get("data", "k")).is_write
+
+    def test_add_node_for_elasticity(self, cluster):
+        before = len(cluster.nodes)
+        node = cluster.add_node()
+        assert len(cluster.nodes) == before + 1
+        assert node.alive
+
+    def test_request_size_reflects_value(self, cluster):
+        small = cluster.request_size(effects.Put("data", "k", "x"))
+        large = cluster.request_size(effects.Put("data", "k", "x" * 500))
+        assert large > small + 400
+
+
+class TestApproxSize:
+    @given(st.text(max_size=100))
+    def test_strings(self, text):
+        assert approx_size(text) == len(text)
+
+    def test_nested(self):
+        assert approx_size((1, "abc", None)) == 8 + 8 + 3 + 1
+
+    def test_custom_protocol(self):
+        class Sized:
+            def approx_size(self):
+                return 1234
+
+        assert approx_size(Sized()) == 1234
+
+    def test_unknown_fallback(self):
+        assert approx_size(object()) == 64

@@ -1,0 +1,346 @@
+"""Tests for transactions: snapshot isolation semantics with LL/SC.
+
+These exercise the life-cycle of Section 4.3 and the SI guarantees of
+Section 4.1 -- including concurrent interleavings at every storage
+request boundary via the ``interleave`` helper.
+"""
+
+import pytest
+
+from repro import effects
+from repro.core.commit_manager import CommitManager
+from repro.core.processing_node import ProcessingNode
+from repro.core.record import TOMBSTONE
+from repro.core.spaces import DATA_SPACE, data_key
+from repro.core.transaction import TxnState
+from repro.core.txlog import LOG_SPACE
+from repro.api.runner import DirectRunner, Router
+from repro.errors import (
+    InvalidState,
+    KeyNotFound,
+    TransactionAborted,
+)
+from tests.conftest import interleave
+
+K1 = data_key(1, 1)
+K2 = data_key(1, 2)
+
+
+@pytest.fixture
+def env(cluster):
+    cm = CommitManager(0, cluster.execute, tid_range_size=32)
+    pn = ProcessingNode(0)
+    router = Router(cluster, cm, pn_id=0)
+    return cluster, cm, pn, DirectRunner(router)
+
+
+def seed(runner, pn, rows):
+    def logic(txn):
+        for key, payload in rows.items():
+            txn.insert(key, payload)
+        return None
+        yield
+
+    runner.run(pn.run_transaction(logic))
+
+
+class TestLifecycle:
+    def test_states(self, env):
+        _cluster, _cm, pn, runner = env
+        txn = runner.run(pn.begin())
+        assert txn.state is TxnState.RUNNING
+        txn.insert(K1, ("a",))
+        runner.run(txn.commit())
+        assert txn.state is TxnState.COMMITTED
+
+    def test_commit_twice_rejected(self, env):
+        _c, _cm, pn, runner = env
+        txn = runner.run(pn.begin())
+        runner.run(txn.commit())
+        with pytest.raises(InvalidState):
+            runner.run(txn.commit())
+
+    def test_manual_abort(self, env):
+        cluster, _cm, pn, runner = env
+        seed(runner, pn, {K1: ("x",)})
+        txn = runner.run(pn.begin())
+        runner.run(txn.update(K1, ("y",)))
+        runner.run(txn.abort())
+        assert txn.state is TxnState.ABORTED
+        # nothing was applied
+        check = runner.run(pn.begin())
+        assert runner.run(check.read(K1)) == ("x",)
+
+    def test_read_only_fast_path_writes_no_log(self, env):
+        cluster, _cm, pn, runner = env
+        seed(runner, pn, {K1: ("x",)})
+        txn = runner.run(pn.begin())
+        runner.run(txn.read(K1))
+        runner.run(txn.commit())
+        entry, _ = cluster.execute(effects.Get(LOG_SPACE, txn.tid))
+        assert entry is None
+
+    def test_committed_txn_has_committed_log_flag(self, env):
+        cluster, _cm, pn, runner = env
+        txn = runner.run(pn.begin())
+        txn.insert(K1, ("v",))
+        runner.run(txn.commit())
+        entry, _ = cluster.execute(effects.Get(LOG_SPACE, txn.tid))
+        assert entry.committed
+        assert K1 in entry.write_set
+
+
+class TestReadsAndWrites:
+    def test_read_your_own_writes(self, env):
+        _c, _cm, pn, runner = env
+        txn = runner.run(pn.begin())
+        txn.insert(K1, ("mine",))
+        assert runner.run(txn.read(K1)) == ("mine",)
+
+    def test_read_your_own_update(self, env):
+        _c, _cm, pn, runner = env
+        seed(runner, pn, {K1: ("old",)})
+        txn = runner.run(pn.begin())
+        runner.run(txn.update(K1, ("new",)))
+        assert runner.run(txn.read(K1)) == ("new",)
+
+    def test_read_your_own_delete(self, env):
+        _c, _cm, pn, runner = env
+        seed(runner, pn, {K1: ("old",)})
+        txn = runner.run(pn.begin())
+        runner.run(txn.delete(K1))
+        assert runner.run(txn.read(K1)) is None
+
+    def test_update_requires_visible_record(self, env):
+        _c, _cm, pn, runner = env
+        txn = runner.run(pn.begin())
+        with pytest.raises(KeyNotFound):
+            runner.run(txn.update(data_key(1, 999), ("x",)))
+
+    def test_insert_then_delete_cancels(self, env):
+        cluster, _cm, pn, runner = env
+        txn = runner.run(pn.begin())
+        txn.insert(K1, ("temp",))
+        runner.run(txn.delete(K1))
+        runner.run(txn.commit())
+        value, _ = cluster.execute(effects.Get(DATA_SPACE, K1))
+        assert value is None
+
+    def test_multiple_updates_collapse_to_one_version(self, env):
+        cluster, _cm, pn, runner = env
+        seed(runner, pn, {K1: ("v0",)})
+        txn = runner.run(pn.begin())
+        runner.run(txn.update(K1, ("v1",)))
+        runner.run(txn.update(K1, ("v2",)))
+        runner.run(txn.commit())
+        record, _ = cluster.execute(effects.Get(DATA_SPACE, K1))
+        assert record.get(txn.tid).payload == ("v2",)
+        assert len([v for v in record.versions if v.tid == txn.tid]) == 1
+
+    def test_read_many_batches_and_dedups(self, env):
+        _c, _cm, pn, runner = env
+        seed(runner, pn, {K1: ("a",), K2: ("b",)})
+        txn = runner.run(pn.begin())
+        result = runner.run(txn.read_many([K1, K2, K1]))
+        assert result == {K1: ("a",), K2: ("b",)}
+
+    def test_deleted_record_invisible_to_later_snapshots(self, env):
+        _c, _cm, pn, runner = env
+        seed(runner, pn, {K1: ("x",)})
+
+        def deleter(txn):
+            yield from txn.delete(K1)
+
+        runner.run(pn.run_transaction(deleter))
+        txn = runner.run(pn.begin())
+        assert runner.run(txn.read(K1)) is None
+
+
+class TestSnapshotIsolation:
+    def test_no_dirty_reads(self, env):
+        """A concurrent transaction's buffered writes are invisible."""
+        _c, _cm, pn, runner = env
+        seed(runner, pn, {K1: ("committed",)})
+        writer = runner.run(pn.begin())
+        runner.run(writer.update(K1, ("uncommitted",)))
+        reader = runner.run(pn.begin())
+        assert runner.run(reader.read(K1)) == ("committed",)
+
+    def test_repeatable_reads_after_concurrent_commit(self, env):
+        """A snapshot keeps reading its version even after another
+        transaction committed a newer one."""
+        _c, _cm, pn, runner = env
+        seed(runner, pn, {K1: ("v0",)})
+        reader = runner.run(pn.begin())
+        assert runner.run(reader.read(K1)) == ("v0",)
+
+        def writer(txn):
+            yield from txn.update(K1, ("v1",))
+
+        runner.run(pn.run_transaction(writer))
+        # fresh read of the same key through a *new* fetch: drop the cache
+        reader._cache.clear()
+        assert runner.run(reader.read(K1)) == ("v0",)
+
+    def test_write_write_conflict_first_committer_wins(self, env):
+        _c, _cm, pn, runner = env
+        seed(runner, pn, {K1: ("v0",)})
+        a = runner.run(pn.begin())
+        b = runner.run(pn.begin())
+        runner.run(a.update(K1, ("a",)))
+        runner.run(b.update(K1, ("b",)))
+        runner.run(a.commit())
+        with pytest.raises(TransactionAborted):
+            runner.run(b.commit())
+        check = runner.run(pn.begin())
+        assert runner.run(check.read(K1)) == ("a",)
+
+    def test_conflict_scenario_two_from_paper(self, env):
+        """T1 reads the item before T2 writes it: T1 must detect the
+        conflict when applying (LL/SC fails)."""
+        _c, _cm, pn, runner = env
+        seed(runner, pn, {K1: ("v0",)})
+        t1 = runner.run(pn.begin())
+        runner.run(t1.read(K1))
+
+        def t2_logic(txn):
+            yield from txn.update(K1, ("t2",))
+
+        runner.run(pn.run_transaction(t2_logic))
+        runner.run(t1.update(K1, ("t1",)))
+        with pytest.raises(TransactionAborted):
+            runner.run(t1.commit())
+
+    def test_conflict_scenario_one_from_paper(self, env):
+        """T2 commits before T1 reads: T1 sees the newer version exists
+        outside its snapshot and conflicts on write."""
+        _c, _cm, pn, runner = env
+        seed(runner, pn, {K1: ("v0",)})
+        t1 = runner.run(pn.begin())
+
+        def t2_logic(txn):
+            yield from txn.update(K1, ("t2",))
+
+        runner.run(pn.run_transaction(t2_logic))
+        # T1's snapshot predates T2, so it still reads v0 ...
+        assert runner.run(t1.read(K1)) == ("v0",)
+        runner.run(t1.update(K1, ("t1",)))
+        # ... and must abort at commit.
+        with pytest.raises(TransactionAborted):
+            runner.run(t1.commit())
+
+    def test_disjoint_writes_both_commit(self, env):
+        _c, _cm, pn, runner = env
+        seed(runner, pn, {K1: ("a0",), K2: ("b0",)})
+        a = runner.run(pn.begin())
+        b = runner.run(pn.begin())
+        runner.run(a.update(K1, ("a1",)))
+        runner.run(b.update(K2, ("b1",)))
+        runner.run(a.commit())
+        runner.run(b.commit())
+        check = runner.run(pn.begin())
+        assert runner.run(check.read_many([K1, K2])) == {
+            K1: ("a1",), K2: ("b1",)
+        }
+
+    def test_write_skew_is_permitted(self, env):
+        """SI famously allows write skew (Section 4.1: SI is not fully
+        serializable); document the behaviour with a test."""
+        _c, _cm, pn, runner = env
+        seed(runner, pn, {K1: (50,), K2: (50,)})
+        a = runner.run(pn.begin())
+        b = runner.run(pn.begin())
+        # Each reads both, then writes the *other* key (disjoint writes).
+        assert runner.run(a.read_many([K1, K2])) == {K1: (50,), K2: (50,)}
+        assert runner.run(b.read_many([K1, K2])) == {K1: (50,), K2: (50,)}
+        runner.run(a.update(K1, (-10,)))
+        runner.run(b.update(K2, (-10,)))
+        runner.run(a.commit())
+        runner.run(b.commit())  # both succeed: the write-skew anomaly
+
+    def test_rollback_after_partial_apply(self, env):
+        """A conflicted transaction reverts the updates it had already
+        applied (abort path of Section 4.3)."""
+        cluster, _cm, pn, runner = env
+        keys = [data_key(1, i) for i in range(1, 21)]
+        seed(runner, pn, {key: ("init",) for key in keys})
+        a = runner.run(pn.begin())
+        b = runner.run(pn.begin())
+        for key in keys:
+            runner.run(a.update(key, ("a",)))
+        runner.run(b.update(keys[-1], ("b",)))
+        runner.run(b.commit())
+        with pytest.raises(TransactionAborted):
+            runner.run(a.commit())
+        # Every record must be free of a's version.
+        for key in keys:
+            record, _ = cluster.execute(effects.Get(DATA_SPACE, key))
+            assert record.get(a.tid) is None
+
+    def test_insert_insert_conflict_on_same_key(self, env):
+        _c, _cm, pn, runner = env
+        a = runner.run(pn.begin())
+        b = runner.run(pn.begin())
+        a.insert(K1, ("a",))
+        b.insert(K1, ("b",))
+        runner.run(a.commit())
+        with pytest.raises(TransactionAborted):
+            runner.run(b.commit())
+
+
+class TestInterleavedExecution:
+    def test_concurrent_increments_never_lose_updates(self, env):
+        """N transactions increment a counter with retry; the final value
+        equals the number of successful commits (LL/SC prevents lost
+        updates under arbitrary interleavings)."""
+        cluster, cm, pn, runner = env
+        seed(runner, pn, {K1: (0,)})
+
+        def increment(txn):
+            value = yield from txn.read(K1)
+            yield from txn.update(K1, (value[0] + 1,))
+
+        def attempt():
+            try:
+                yield from pn.run_transaction(increment)
+                return True
+            except TransactionAborted:
+                return False
+
+        results, errors = interleave(
+            runner.router, [attempt() for _ in range(12)]
+        )
+        assert not any(errors)
+        succeeded = sum(1 for r in results if r)
+        check = runner.run(pn.begin())
+        assert runner.run(check.read(K1)) == (succeeded,)
+        assert succeeded >= 1
+
+    def test_eager_gc_prunes_old_versions(self, env):
+        cluster, cm, pn, runner = env
+        seed(runner, pn, {K1: ("v0",)})
+
+        def bump(txn):
+            value = yield from txn.read(K1)
+            yield from txn.update(K1, (value[0] + "x",))
+
+        for _ in range(10):
+            runner.run(pn.run_transaction(bump))
+        record, _ = cluster.execute(effects.Get(DATA_SPACE, K1))
+        # With no long-running snapshots the lav advances, so eager GC
+        # keeps the version chain short.
+        assert len(record) <= 2
+
+    def test_gc_respects_old_active_snapshot(self, env):
+        cluster, cm, pn, runner = env
+        seed(runner, pn, {K1: ("v0",)})
+        old_reader = runner.run(pn.begin())  # pins the lav
+
+        def bump(txn):
+            value = yield from txn.read(K1)
+            yield from txn.update(K1, (value[0] + "x",))
+
+        for _ in range(5):
+            runner.run(pn.run_transaction(bump))
+        # The old reader must still see its version.
+        assert runner.run(old_reader.read(K1)) == ("v0",)

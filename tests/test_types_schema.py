@@ -1,0 +1,190 @@
+"""Tests for column types, schemas, and the shared catalog."""
+
+import pytest
+
+from repro import effects
+from repro.api.runner import DirectRunner, Router
+from repro.errors import ConflictError, SchemaError
+from repro.sql.keyenc import encode_component, encode_key
+from repro.sql.schema import Catalog, Column, TableSchema
+from repro.sql.types import ColumnType, coerce
+from repro.store.cluster import StorageCluster
+
+
+class TestColumnType:
+    def test_aliases(self):
+        assert ColumnType.from_sql("VARCHAR(16)") is ColumnType.TEXT
+        assert ColumnType.from_sql("integer") is ColumnType.INT
+        assert ColumnType.from_sql("DECIMAL(12,2)") is ColumnType.DECIMAL
+        assert ColumnType.from_sql("double") is ColumnType.FLOAT
+
+    def test_unknown_type(self):
+        with pytest.raises(SchemaError):
+            ColumnType.from_sql("BLOB")
+
+
+class TestCoerce:
+    def test_none_passthrough(self):
+        assert coerce(None, ColumnType.INT) is None
+
+    def test_int(self):
+        assert coerce(5, ColumnType.INT) == 5
+        assert coerce(5.0, ColumnType.INT) == 5
+        with pytest.raises(SchemaError):
+            coerce("x", ColumnType.INT)
+        with pytest.raises(SchemaError):
+            coerce(True, ColumnType.INT)
+        with pytest.raises(SchemaError):
+            coerce(5.5, ColumnType.INT)
+
+    def test_float(self):
+        assert coerce(5, ColumnType.FLOAT) == 5.0
+        assert isinstance(coerce(5, ColumnType.DECIMAL), float)
+        with pytest.raises(SchemaError):
+            coerce("x", ColumnType.FLOAT)
+
+    def test_text(self):
+        assert coerce("abc", ColumnType.TEXT) == "abc"
+        with pytest.raises(SchemaError):
+            coerce(5, ColumnType.TEXT)
+
+    def test_bool(self):
+        assert coerce(True, ColumnType.BOOL) is True
+        with pytest.raises(SchemaError):
+            coerce(1, ColumnType.BOOL)
+
+
+class TestTableSchema:
+    def make(self):
+        return TableSchema(
+            1, "t",
+            [
+                Column("id", ColumnType.INT, nullable=False),
+                Column("name", ColumnType.TEXT, default="anon"),
+                Column("score", ColumnType.FLOAT),
+            ],
+            ["id"],
+        )
+
+    def test_make_row_defaults(self):
+        schema = self.make()
+        row = schema.make_row({"id": 1})
+        assert row == (1, "anon", None)
+
+    def test_make_row_not_null(self):
+        schema = self.make()
+        with pytest.raises(SchemaError):
+            schema.make_row({"name": "x"})
+
+    def test_make_row_unknown_column(self):
+        schema = self.make()
+        with pytest.raises(SchemaError):
+            schema.make_row({"id": 1, "ghost": 2})
+
+    def test_key_of(self):
+        schema = self.make()
+        assert schema.key_of((7, "n", 1.0)) == (7,)
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema(1, "t", [Column("a", ColumnType.INT)] * 2, ["a"])
+
+    def test_pk_column_must_exist(self):
+        with pytest.raises(SchemaError):
+            TableSchema(1, "t", [Column("a", ColumnType.INT)], ["b"])
+
+    def test_row_to_dict(self):
+        schema = self.make()
+        assert schema.row_to_dict((1, "x", 2.0)) == {
+            "id": 1, "name": "x", "score": 2.0
+        }
+
+
+class TestCatalog:
+    def test_define_table_creates_pk_index(self):
+        catalog = Catalog()
+        schema = catalog.define_table(
+            "t", [Column("id", ColumnType.INT)], ["id"]
+        )
+        assert schema.primary_index.unique
+        assert schema.primary_index.columns == ("id",)
+
+    def test_table_ids_unique(self):
+        catalog = Catalog()
+        a = catalog.define_table("a", [Column("x", ColumnType.INT)], ["x"])
+        b = catalog.define_table("b", [Column("x", ColumnType.INT)], ["x"])
+        assert a.table_id != b.table_id
+
+    def test_duplicate_table_rejected(self):
+        catalog = Catalog()
+        catalog.define_table("t", [Column("x", ColumnType.INT)], ["x"])
+        with pytest.raises(SchemaError):
+            catalog.define_table("T", [Column("x", ColumnType.INT)], ["x"])
+
+    def test_index_on_unknown_column(self):
+        catalog = Catalog()
+        catalog.define_table("t", [Column("x", ColumnType.INT)], ["x"])
+        with pytest.raises(SchemaError):
+            catalog.define_index("i", "t", ["nope"])
+
+    def test_drop_table_removes_indexes(self):
+        catalog = Catalog()
+        catalog.define_table("t", [Column("x", ColumnType.INT)], ["x"])
+        catalog.define_index("i", "t", ["x"])
+        catalog.drop_table("t")
+        assert not catalog.has_table("t")
+        assert "i" not in catalog.indexes
+        assert "t_pk" not in catalog.indexes
+
+    def test_persistence_roundtrip(self):
+        cluster = StorageCluster(n_nodes=1)
+        runner = DirectRunner(Router(cluster))
+        catalog = Catalog()
+        catalog.define_table("t", [Column("x", ColumnType.INT)], ["x"])
+        runner.run(catalog.save())
+        loaded, version = runner.run(Catalog.load())
+        assert loaded.has_table("t")
+        assert version == 1
+        assert loaded is not catalog  # deep copy
+
+    def test_concurrent_ddl_conflicts(self):
+        cluster = StorageCluster(n_nodes=1)
+        runner = DirectRunner(Router(cluster))
+        catalog = Catalog()
+        runner.run(catalog.save())
+        a, version_a = runner.run(Catalog.load())
+        b, version_b = runner.run(Catalog.load())
+        a.define_table("from_a", [Column("x", ColumnType.INT)], ["x"])
+        runner.run(a.save_if_version(version_a))
+        b.define_table("from_b", [Column("x", ColumnType.INT)], ["x"])
+        with pytest.raises(ConflictError):
+            runner.run(b.save_if_version(version_b))
+
+
+class TestKeyEncoding:
+    def test_null_sorts_first(self):
+        assert encode_component(None) < encode_component(-10**9)
+        assert encode_component(None) < encode_component("")
+
+    def test_numbers_before_strings(self):
+        assert encode_component(10**9) < encode_component("a")
+
+    def test_int_float_interoperate(self):
+        assert encode_component(1) < encode_component(1.5)
+        assert encode_component(2.0) == encode_component(2)
+
+    def test_bool_separate_from_int(self):
+        assert encode_component(True) < encode_component(0)
+
+    def test_unsupported_type(self):
+        with pytest.raises(TypeError):
+            encode_component([1])
+
+    def test_encode_key_tuple(self):
+        encoded = encode_key((None, 5, "x"))
+        assert encoded == ((0, False), (2, 5), (3, "x"))
+
+    def test_total_order_over_mixed_population(self):
+        values = [None, True, False, -3, 0, 2.5, 7, "", "a", "b", b"z"]
+        encoded = [encode_component(value) for value in values]
+        assert sorted(encoded) is not None  # must not raise
