@@ -1,0 +1,47 @@
+"""Smoke tests for the perf microbenchmark suite.
+
+One tiny iteration per benchmark, no thresholds: the goal is that
+``benchmarks/perf`` cannot bit-rot, not to gate CI on host speed.  Real
+measurements come from ``tools/perf_report.py`` (see docs/performance.md).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.perfsuite import (
+    BENCHMARKS,
+    SMOKE_KWARGS,
+    build_report,
+    run_suite,
+)
+
+
+@pytest.mark.parametrize("name", sorted(BENCHMARKS))
+def test_microbench_runs(name):
+    result = BENCHMARKS[name](**SMOKE_KWARGS[name])
+    assert result["name"] == name
+    assert result["value"] > 0
+    assert result["wall_s"] > 0
+    assert result["work"] > 0
+
+
+def test_tpcc_e2e_digest_is_deterministic():
+    first = BENCHMARKS["tpcc_e2e"](**SMOKE_KWARGS["tpcc_e2e"])
+    second = BENCHMARKS["tpcc_e2e"](**SMOKE_KWARGS["tpcc_e2e"])
+    assert first["digest"] == second["digest"]
+
+
+def test_report_shape_and_speedup_math():
+    suite = run_suite(["snapshot"], repeat=1, smoke=True, verbose=False)
+    report = build_report(suite, before=suite)
+    entry = report["benchmarks"]["snapshot"]
+    assert entry["speedup"] == pytest.approx(1.0)
+    assert report["schema"] == "repro-perf/1"
+
+
+def test_report_flags_digest_mismatch():
+    after = {"tpcc_e2e": {"value": 2.0, "digest": "aaa"}}
+    before = {"tpcc_e2e": {"value": 1.0, "digest": "bbb"}}
+    report = build_report(after, before)
+    assert report["invariance"]["identical"] is False

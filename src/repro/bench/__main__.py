@@ -164,6 +164,10 @@ def main(argv=None) -> int:
     parser.add_argument("--profile", choices=("smoke", "quick", "full"),
                         help="sizing profile (default: REPRO_BENCH_PROFILE "
                              "or 'quick')")
+    parser.add_argument("--cprofile", metavar="STATS_FILE", nargs="?",
+                        const="-", default=None,
+                        help="run under cProfile; write pstats to STATS_FILE "
+                             "or print the top functions when omitted")
     args = parser.parse_args(argv)
 
     if args.list or not args.experiments:
@@ -172,12 +176,32 @@ def main(argv=None) -> int:
         return 0
     if args.profile:
         os.environ["REPRO_BENCH_PROFILE"] = args.profile
-    for name in args.experiments:
-        if name not in EXPERIMENTS:
-            parser.error(f"unknown experiment {name!r}")
-        started = time.time()
-        EXPERIMENTS[name]()
-        print(f"[{name} finished in {time.time() - started:.1f}s]")
+
+    profiler = None
+    if args.cprofile is not None:
+        import cProfile
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+    try:
+        for name in args.experiments:
+            if name not in EXPERIMENTS:
+                parser.error(f"unknown experiment {name!r}")
+            started = time.time()
+            EXPERIMENTS[name]()
+            print(f"[{name} finished in {time.time() - started:.1f}s]")
+    finally:
+        if profiler is not None:
+            profiler.disable()
+            if args.cprofile == "-":
+                import pstats
+
+                stats = pstats.Stats(profiler, stream=sys.stderr)
+                stats.sort_stats("cumulative").print_stats(30)
+            else:
+                profiler.dump_stats(args.cprofile)
+                print(f"[cProfile stats written to {args.cprofile}]",
+                      file=sys.stderr)
     return 0
 
 

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import hashlib
+import json
 import math
 from typing import Dict, List, Optional, Tuple
 
@@ -44,10 +46,22 @@ class LatencyStats:
 
 
 def _percentile(ordered: List[float], fraction: float) -> float:
+    """Linear interpolation between closest ranks (numpy's default).
+
+    The previous nearest-rank rounding could be off by most of one
+    inter-sample gap on small or skewed samples; interpolating matches
+    the conventional definition: rank = fraction * (n - 1), and the
+    value is interpolated between floor(rank) and ceil(rank).
+    """
     if not ordered:
         return 0.0
-    index = min(len(ordered) - 1, int(round(fraction * (len(ordered) - 1))))
-    return ordered[index]
+    rank = fraction * (len(ordered) - 1)
+    lower = int(rank)
+    upper = lower + 1
+    if upper >= len(ordered):
+        return ordered[-1]
+    weight = rank - lower
+    return ordered[lower] * (1.0 - weight) + ordered[upper] * weight
 
 
 class TxnMetrics:
@@ -140,6 +154,28 @@ class TxnMetrics:
             self.user_aborts[name] = self.user_aborts.get(name, 0) + count
         for name, values in other.latencies_us.items():
             self.latencies_us.setdefault(name, []).extend(values)
+
+    def digest(self) -> str:
+        """SHA-256 over every raw simulated measurement.
+
+        Two runs with identical behaviour produce identical digests: the
+        digest covers per-type commit/conflict/abort counts, the measured
+        window, and the full latency series (which pins TpmC, abort rate,
+        and all percentiles).  This is the behaviour-invariance check for
+        performance work: an optimization must not change the digest.
+        """
+        payload = {
+            "committed": dict(sorted(self.committed.items())),
+            "conflicts": dict(sorted(self.conflicts.items())),
+            "user_aborts": dict(sorted(self.user_aborts.items())),
+            "measured_time_us": self.measured_time_us,
+            "latencies_us": {
+                name: self.latencies_us[name]
+                for name in sorted(self.latencies_us)
+            },
+        }
+        encoded = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(encoded.encode("utf-8")).hexdigest()
 
     def summary(self) -> str:
         lat = self.latency()

@@ -31,7 +31,7 @@ from repro.core.commit_manager import CommitManager
 from repro.core.processing_node import ProcessingNode
 from repro.errors import TellError, TransactionAborted
 from repro.net.profiles import NetworkProfile, profile_by_name
-from repro.sim.kernel import Delay, Simulator
+from repro.sim.kernel import Delay, Simulator, delay_of
 from repro.sql.table import IndexManager
 from repro.store.cluster import StorageCluster
 from repro.workloads.loader import BulkLoader
@@ -56,6 +56,29 @@ SN_SERVICE_CM_US = 0.6
 REPL_WRITE_AMP = 2.0
 REPL_FIXED_US = 5.0
 
+#: Exact request classes served by the single-key storage path; used for
+#: one-lookup dispatch in the fabric's hot loop (subclasses still take
+#: the isinstance route).
+_SINGLE_OP_CLASSES = frozenset(
+    (
+        effects.Get,
+        effects.Put,
+        effects.PutIfVersion,
+        effects.Delete,
+        effects.DeleteIfVersion,
+        effects.Increment,
+    )
+)
+_REPLICATED_OP_CLASSES = frozenset(
+    (
+        effects.Put,
+        effects.PutIfVersion,
+        effects.Delete,
+        effects.DeleteIfVersion,
+        effects.Increment,
+    )
+)
+
 
 class CorePool:
     """A multi-server FIFO of CPU cores (reserve = find earliest core)."""
@@ -69,10 +92,17 @@ class CorePool:
     def earliest(self, at: float) -> float:
         return max(at, self._free[0])
 
-    def reserve(self, at: float, duration: float) -> Tuple[float, float]:
-        start = max(at, heapq.heappop(self._free))
+    def reserve(
+        self,
+        at: float,
+        duration: float,
+        _heapreplace=heapq.heapreplace,
+    ) -> Tuple[float, float]:
+        free = self._free
+        head = free[0]
+        start = at if at > head else head
         end = start + duration
-        heapq.heappush(self._free, end)
+        _heapreplace(free, end)
         return start, end
 
 
@@ -115,69 +145,109 @@ class SimFabric:
         }
         self.cm_pools = [CorePool(2) for _ in commit_managers]
         self.stats = FabricStats()
+        # Per-run constants of the CM round trip, hoisted off the hot path.
+        self._cm_wire_us = self.profile.one_way(CM_MESSAGE_BYTES)
+        self._cm_service_us = SN_SERVICE_CM_US + self.profile.server_cpu_per_msg_us
 
     # -- top-level dispatch ------------------------------------------------------
 
     def perform(self, pn_pool: CorePool, cm_index: int,
                 request: effects.Request, pn_id: int = -1) -> Generator:
-        """Sub-generator (yields Delay/Event) resolving one request."""
-        if isinstance(request, effects.Compute):
-            _start, end = pn_pool.reserve(self.sim.now, request.duration)
-            if end > self.sim.now:
-                yield Delay(end - self.sim.now)
+        """Sub-generator (yields Delay/Event) resolving one request.
+
+        Dispatches on the exact request class first -- single-key storage
+        ops and Compute dominate the request stream -- before falling back
+        to the isinstance ladder for subclassed requests.
+        """
+        cls = request.__class__
+        if cls in _SINGLE_OP_CLASSES:
+            return (yield from self._perform_single(pn_pool, request))
+        if cls is effects.Compute or isinstance(request, effects.Compute):
+            now = self.sim.now
+            _start, end = pn_pool.reserve(now, request.duration)
+            if end > now:
+                yield Delay(end - now)
             return None
-        if isinstance(request, effects.Sleep):
-            yield Delay(request.duration)
+        if cls is effects.Sleep or isinstance(request, effects.Sleep):
+            yield delay_of(request.duration)
             return None
-        if isinstance(request, effects.Batch):
+        if cls is effects.Batch or isinstance(request, effects.Batch):
             if self.config.batching:
                 return (yield from self._perform_batch(pn_pool, request.ops))
             results = []
             for op in request.ops:  # no batching: one round trip each
-                single = yield from self._perform_batch(pn_pool, [op])
-                results.append(single[0])
+                single = yield from self._perform_single(pn_pool, op)
+                results.append(single)
             return results
         if isinstance(request, effects.Scan):
             return (yield from self._perform_scan(pn_pool, request))
         if isinstance(request, effects.StoreRequest):
-            results = yield from self._perform_batch(pn_pool, [request])
-            return results[0]
+            return (yield from self._perform_single(pn_pool, request))
         if isinstance(request, effects.CommitManagerRequest):
             return (yield from self._perform_cm(pn_pool, cm_index, request, pn_id))
         raise TypeError(f"fabric cannot perform {request!r}")
 
     # -- storage messages ------------------------------------------------------------
 
+    def _perform_single(
+        self, pn_pool: CorePool, op: effects.StoreRequest
+    ) -> Generator:
+        """One single-key op: the degenerate one-message batch.
+
+        Identical timing and state transitions to ``_perform_batch`` with
+        one op, minus the grouping bookkeeping -- most requests the
+        protocol issues outside explicit batches land here.
+        """
+        routing = self.cluster.routing(op)
+        now = self.sim.now
+        t_send = now
+        client_cpu = self.profile.client_cpu_per_msg_us
+        if client_cpu > 0:
+            _s, t_send = pn_pool.reserve(t_send, client_cpu)
+        slot, t_done = self._send_group(
+            t_send, routing.node_id, [(0, op, routing.partition_id)]
+        )
+        if client_cpu > 0:
+            _s, t_done = pn_pool.reserve(t_done, client_cpu)
+        if t_done > now:
+            yield Delay(t_done - now)
+        if slot.error is not None:
+            raise slot.error
+        return slot.value[0]
+
     def _perform_batch(
         self, pn_pool: CorePool, ops: List[effects.StoreRequest]
     ) -> Generator:
         """Send ops grouped per target storage node; one message each."""
+        if len(ops) == 1:
+            only = yield from self._perform_single(pn_pool, ops[0])
+            return [only]
+        routing_of = self.cluster.routing
         groups: Dict[int, List[Tuple[int, effects.StoreRequest, int]]] = {}
         for position, op in enumerate(ops):
-            routing = self.cluster.routing(op)
-            groups.setdefault(routing.node_id, []).append(
-                (position, op, routing.partition_id)
-            )
+            routing = routing_of(op)
+            group = groups.get(routing.node_id)
+            if group is None:
+                groups[routing.node_id] = group = []
+            group.append((position, op, routing.partition_id))
         now = self.sim.now
         # Send-side CPU: one charge per outgoing message.
         t_send = now
-        if self.profile.client_cpu_per_msg_us > 0:
+        client_cpu = self.profile.client_cpu_per_msg_us
+        if client_cpu > 0:
             for _ in groups:
-                _s, t_send = pn_pool.reserve(
-                    t_send, self.profile.client_cpu_per_msg_us
-                )
+                _s, t_send = pn_pool.reserve(t_send, client_cpu)
         slots = []
         t_done = t_send
         for node_id, members in groups.items():
             slot, t_response = self._send_group(t_send, node_id, members)
             slots.append((slot, members))
-            t_done = max(t_done, t_response)
+            if t_response > t_done:
+                t_done = t_response
         # Receive-side CPU, one charge per response message.
-        if self.profile.client_cpu_per_msg_us > 0:
+        if client_cpu > 0:
             for _ in groups:
-                _s, t_done = pn_pool.reserve(
-                    t_done, self.profile.client_cpu_per_msg_us
-                )
+                _s, t_done = pn_pool.reserve(t_done, client_cpu)
         if t_done > now:
             yield Delay(t_done - now)
         results: List[Any] = [None] * len(ops)
@@ -200,33 +270,42 @@ class SimFabric:
     ) -> Tuple[_Slot, float]:
         """Schedule one request message; returns (slot, t_response)."""
         profile = self.profile
-        config = self.config
-        request_bytes = sum(
-            self.cluster.request_size(op) for _pos, op, _pid in members
-        )
-        self.stats.messages += 1
-        self.stats.store_ops += len(members)
-        self.stats.bytes_sent += request_bytes
-
-        t_arrive = now + profile.one_way(request_bytes)
-        node = self.cluster.nodes[node_id]
+        cluster = self.cluster
+        node = cluster.nodes[node_id]
         pool = self.sn_pools[node_id]
+        request_size = cluster.request_size
+        service_us_read = node.service_us_read
+        service_us_write = node.service_us_write
+
+        # One pass over the members computes wire size, service time, and
+        # the replicated-write set together (three separate traversals
+        # previously).
+        request_bytes = 0
         service = profile.server_cpu_per_msg_us
-        writes: List[Tuple[effects.StoreRequest, int]] = []
         response_bytes = 16
+        writes: List[Tuple[effects.StoreRequest, int]] = []
         for _pos, op, pid in members:
-            if isinstance(op, (effects.Get,)):
-                service += node.service_us_read
+            request_bytes += request_size(op)
+            cls = op.__class__
+            if cls is effects.Get or isinstance(op, effects.Get):
+                service += service_us_read
                 response_bytes += READ_RESPONSE_BYTES
             else:
-                service += node.service_us_write
+                service += service_us_write
                 response_bytes += WRITE_RESPONSE_BYTES
-                if isinstance(
+                if cls in _REPLICATED_OP_CLASSES or isinstance(
                     op,
                     (effects.Put, effects.PutIfVersion, effects.Delete,
                      effects.DeleteIfVersion, effects.Increment),
                 ):
                     writes.append((op, pid))
+
+        stats = self.stats
+        stats.messages += 1
+        stats.store_ops += len(members)
+        stats.bytes_sent += request_bytes
+
+        t_arrive = now + profile.one_way(request_bytes)
 
         start = pool.earliest(t_arrive)
         # Synchronous replication: the master worker is held until every
@@ -237,14 +316,15 @@ class SimFabric:
         # the ``REPL_WRITE_AMP`` factor plus a fixed per-put cost), and a
         # master pipelines its group's puts one at a time.
         repl_extra = 0.0
-        if writes and self.cluster.replication_factor > 1:
+        if writes and cluster.replication_factor > 1:
             backup_targets: Dict[int, int] = {}
+            backups_of = cluster.partition_map.backups_of
             for op, pid in writes:
-                for backup_id in self.cluster.partition_map.backups_of(pid):
+                for backup_id in backups_of(pid):
                     backup_targets[backup_id] = backup_targets.get(backup_id, 0) + 1
             sent = start + service
             for backup_id, write_count in backup_targets.items():
-                backup_node = self.cluster.nodes[backup_id]
+                backup_node = cluster.nodes[backup_id]
                 backup_pool = self.sn_pools[backup_id]
                 b_arrive = sent + profile.one_way(64)
                 backup_service = write_count * (
@@ -256,7 +336,6 @@ class SimFabric:
         _s, t_service_end = pool.reserve(t_arrive, service + repl_extra)
 
         slot = _Slot()
-        cluster = self.cluster
 
         def apply() -> None:
             try:
@@ -340,28 +419,32 @@ class SimFabric:
         storage round trip whenever serving a start required refilling the
         manager's tid range from the shared counter.
         """
-        profile = self.profile
         manager = self.commit_managers[cm_index]
         pool = self.cm_pools[cm_index]
         now = self.sim.now
         self.stats.messages += 1
-        if isinstance(request, effects.StartTransaction):
+        cls = request.__class__
+        if cls is effects.StartTransaction or isinstance(
+            request, effects.StartTransaction
+        ):
             result: Any = manager.start(pn_id)
-        elif isinstance(request, effects.ReportCommitted):
+        elif cls is effects.ReportCommitted or isinstance(
+            request, effects.ReportCommitted
+        ):
             manager.set_committed(request.tid)
             result = None
-        elif isinstance(request, effects.ReportAborted):
+        elif cls is effects.ReportAborted or isinstance(
+            request, effects.ReportAborted
+        ):
             manager.set_aborted(request.tid)
             result = None
         else:
             raise TypeError(f"unknown CM request {request!r}")
-        t_arrive = now + profile.one_way(CM_MESSAGE_BYTES)
-        _s, t_end = pool.reserve(
-            t_arrive, SN_SERVICE_CM_US + profile.server_cpu_per_msg_us
-        )
-        t_response = t_end + profile.one_way(CM_MESSAGE_BYTES)
-        if getattr(result, "range_refilled", False):
-            t_response += profile.round_trip() + 2.0
+        cm_wire = self._cm_wire_us
+        _s, t_end = pool.reserve(now + cm_wire, self._cm_service_us)
+        t_response = t_end + cm_wire
+        if result is not None and result.range_refilled:
+            t_response += self.profile.round_trip() + 2.0
         yield Delay(t_response - now)
         return result
 
@@ -460,9 +543,11 @@ class SimulatedTell:
             config.scale, seed=seed ^ 0x5DEECE66D,
             remote_accesses=mix.remote_accesses,
         )
-        while self.sim.now < end_time:
+        param_fns = {name: getattr(param_gen, name) for name in TRANSACTIONS}
+        sim = self.sim
+        while sim.now < end_time:
             txn_name = mix.pick(rng)
-            params = getattr(param_gen, txn_name)()
+            params = param_fns[txn_name]()
             started = self.sim.now
             outcome = yield from self._drive(
                 pool, cm_index,
@@ -509,6 +594,11 @@ class SimulatedTell:
         """Run a protocol coroutine under the fabric (a sim process body)."""
         send_value: Any = None
         throw_exc: Optional[BaseException] = None
+        fabric = self.fabric
+        perform = fabric.perform
+        sim = fabric.sim
+        reserve = pool.reserve
+        compute_cls = effects.Compute
         while True:
             try:
                 if throw_exc is not None:
@@ -518,8 +608,17 @@ class SimulatedTell:
                     request = gen.send(send_value)
             except StopIteration as stop:
                 return stop.value
+            # Compute is the most frequent request (charged per row) and
+            # cannot fail; handling it here skips a sub-generator per call.
+            if request.__class__ is compute_cls:
+                now = sim.now
+                _start, end = reserve(now, request.duration)
+                if end > now:
+                    yield Delay(end - now)
+                send_value = None
+                continue
             try:
-                send_value = yield from self.fabric.perform(
+                send_value = yield from perform(
                     pool, cm_index, request, pn_id
                 )
             except TellError as exc:
@@ -554,9 +653,11 @@ class SimulatedTell:
     def _cm_sync_loop(self, manager: CommitManager) -> Generator:
         """Background snapshot synchronization between commit managers."""
         peer_ids = [m.cm_id for m in self.commit_managers]
-        interval = self.config.cm_sync_interval_us
+        # Delay objects are immutable; one interned instance serves every
+        # iteration of the loop.
+        pause = delay_of(self.config.cm_sync_interval_us)
         while True:
-            yield Delay(interval)
+            yield pause
             # State-wise the sync runs through the store directly; its
             # timing cost (a handful of microseconds of CM time per
             # interval) is negligible compared to the interval itself.

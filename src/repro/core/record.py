@@ -73,8 +73,16 @@ class VersionedRecord:
         self._size = -1
 
     @classmethod
+    def _from_sorted(cls, versions: Tuple[Version, ...]) -> "VersionedRecord":
+        """Internal: wrap an already newest-first tuple without re-sorting."""
+        record = object.__new__(cls)
+        record.versions = versions
+        record._size = -1
+        return record
+
+    @classmethod
     def initial(cls, tid: int, payload) -> "VersionedRecord":
-        return cls((Version(tid, payload),))
+        return cls._from_sorted((Version(tid, payload),))
 
     # -- reads -----------------------------------------------------------------
 
@@ -87,8 +95,19 @@ class VersionedRecord:
         Returns ``None`` when no version is visible; a visible tombstone is
         returned as-is (callers treat it as "record deleted").
         """
-        for version in self.versions:  # newest first
-            if snapshot.contains(version.tid):
+        versions = self.versions
+        if not versions:
+            return None
+        base = snapshot.base
+        newest = versions[0]  # newest first
+        if newest.tid <= base:
+            # Short-circuit: the newest version predates the snapshot base,
+            # so it is visible and by ordering it is the maximum.
+            return newest
+        bits = snapshot.bits
+        for version in versions:
+            tid = version.tid
+            if tid <= base or bits >> (tid - base - 1) & 1:
                 return version
         return None
 
@@ -105,13 +124,28 @@ class VersionedRecord:
     # -- writes (all return new records) -------------------------------------------
 
     def with_version(self, version: Version) -> "VersionedRecord":
-        if self.get(version.tid) is not None:
-            raise InvalidState(f"record already has version {version.tid}")
-        return VersionedRecord(self.versions + (version,))
+        """Insert ``version`` into the (already sorted) version tuple.
+
+        A single scan finds the insertion point -- usually index 0, since
+        new versions almost always carry the highest tid -- instead of
+        re-sorting the whole set on every write.
+        """
+        tid = version.tid
+        versions = self.versions
+        index = len(versions)
+        for position, existing in enumerate(versions):  # newest first
+            if existing.tid == tid:
+                raise InvalidState(f"record already has version {tid}")
+            if existing.tid < tid:
+                index = position
+                break
+        return VersionedRecord._from_sorted(
+            versions[:index] + (version,) + versions[index:]
+        )
 
     def without_version(self, tid: int) -> "VersionedRecord":
         remaining = tuple(v for v in self.versions if v.tid != tid)
-        return VersionedRecord(remaining)
+        return VersionedRecord._from_sorted(remaining)
 
     # -- garbage collection (Section 5.4) --------------------------------------------
 
@@ -132,7 +166,7 @@ class VersionedRecord:
         garbage = set(self.collectable_versions(lav))
         if not garbage:
             return self
-        return VersionedRecord(
+        return VersionedRecord._from_sorted(
             tuple(v for v in self.versions if v.tid not in garbage)
         )
 

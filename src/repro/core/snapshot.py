@@ -30,28 +30,41 @@ class SnapshotDescriptor:
 
     def __init__(self, base: int = 0, bits: int = 0):
         # Normalize: bit 0 represents base+1; if it is set the base moves.
-        while bits & 1:
-            bits >>= 1
-            base += 1
+        # ``~bits & (bits + 1)`` isolates the lowest zero bit, so one
+        # bit_length() gives the whole run of trailing ones at once
+        # instead of shifting bit by bit.
+        if bits & 1:
+            run = (~bits & (bits + 1)).bit_length() - 1
+            bits >>= run
+            base += run
         self.base = base
         self.bits = bits
 
     # -- membership ---------------------------------------------------------
 
     def contains(self, tid: int) -> bool:
-        """Is ``tid`` visible in this snapshot (tid ∈ V*)?"""
-        if tid <= self.base:
+        """Is ``tid`` visible in this snapshot (tid ∈ V*)?
+
+        The ``tid <= base`` comparison is the O(1) fast exit: in steady
+        state almost every version a transaction reads is older than the
+        snapshot base, so most calls never touch the bitset.
+        """
+        base = self.base
+        if tid <= base:
             return True
-        return bool(self.bits >> (tid - self.base - 1) & 1)
+        return bool(self.bits >> (tid - base - 1) & 1)
 
     __contains__ = contains
 
     def latest_visible(self, version_numbers: Iterable[int]) -> Optional[int]:
         """max(V ∩ V*) -- the version a transaction reads, or None."""
+        base = self.base
+        bits = self.bits
         best: Optional[int] = None
         for number in version_numbers:
-            if (best is None or number > best) and self.contains(number):
-                best = number
+            if best is None or number > best:
+                if number <= base or bits >> (number - base - 1) & 1:
+                    best = number
         return best
 
     # -- algebra --------------------------------------------------------------
@@ -75,13 +88,18 @@ class SnapshotDescriptor:
         return self.bits & ~shifted_other == 0
 
     def union(self, other: "SnapshotDescriptor") -> "SnapshotDescriptor":
-        """Smallest snapshot containing both (used by commit-manager sync)."""
+        """Smallest snapshot containing both (used by commit-manager sync).
+
+        Allocates only the result descriptor; mutable folds that need no
+        descriptor at all go through :meth:`CommittedSet.merge_snapshot`.
+        """
         if self.base >= other.base:
             high, low = self, other
         else:
             high, low = other, self
-        span = high.base - low.base
-        merged_bits = low.bits >> span | high.bits
+        merged_bits = low.bits >> (high.base - low.base) | high.bits
+        if merged_bits == high.bits:
+            return high  # low added nothing: reuse the descriptor
         return SnapshotDescriptor(high.base, merged_bits)
 
     def with_completed(self, tid: int) -> "SnapshotDescriptor":
@@ -154,22 +172,39 @@ class CommittedSet:
         self._normalize()
 
     def _normalize(self) -> None:
-        while self.bits & 1:
-            self.bits >>= 1
-            self.base += 1
+        bits = self.bits
+        if bits & 1:
+            # Same trailing-ones trick as SnapshotDescriptor: advance the
+            # base over the whole contiguous run in one step.
+            run = (~bits & (bits + 1)).bit_length() - 1
+            self.bits = bits >> run
+            self.base += run
 
     def mark_completed(self, tid: int) -> None:
-        """Record that ``tid`` committed or aborted."""
-        if tid <= self.base:
+        """Record that ``tid`` committed or aborted (mutates in place)."""
+        base = self.base
+        if tid <= base:
             return
-        self.bits |= 1 << (tid - self.base - 1)
-        self._normalize()
+        bits = self.bits | 1 << (tid - base - 1)
+        if bits & 1:
+            run = (~bits & (bits + 1)).bit_length() - 1
+            bits >>= run
+            self.base = base + run
+        self.bits = bits
 
     def merge_snapshot(self, snapshot: SnapshotDescriptor) -> None:
-        """Fold another commit manager's published view into this set."""
-        merged = self.snapshot().union(snapshot)
-        self.base = merged.base
-        self.bits = merged.bits
+        """Fold another commit manager's published view into this set.
+
+        A mutable fold: no intermediate descriptors are allocated, unlike
+        ``self.snapshot().union(snapshot)``.
+        """
+        other_base = snapshot.base
+        if self.base >= other_base:
+            self.bits |= snapshot.bits >> (self.base - other_base)
+        else:
+            self.bits = self.bits >> (other_base - self.base) | snapshot.bits
+            self.base = other_base
+        self._normalize()
 
     def contains(self, tid: int) -> bool:
         if tid <= self.base:

@@ -13,13 +13,19 @@ Processes are plain generator functions.  A process may yield:
 The kernel is deterministic: events scheduled for the same timestamp fire
 in scheduling order (a monotonically increasing sequence number breaks
 ties), so a fixed random seed reproduces the exact same run.
+
+The event loop is the hottest code in the repository -- every simulated
+request is at least one heap operation plus one generator resume -- so
+:meth:`Simulator._drain` binds its dependencies to locals and dispatches
+on exact yield types.  Optimizations here must be behaviour-invariant;
+``benchmarks/perf`` and the determinism-digest test enforce that.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
+from typing import Any, Callable, Dict, Generator, Iterable, List, Optional, Tuple
 
 from repro.errors import InvalidState
 
@@ -38,6 +44,24 @@ class Delay:
 
     def __repr__(self) -> str:
         return f"Delay({self.duration})"
+
+
+#: Interned delays for recurring durations (sync intervals, fixed service
+#: times).  Delay objects are immutable, so sharing one instance across
+#: yields -- even across simulators -- is safe and skips an allocation on
+#: the hot path.
+_DELAY_CACHE: Dict[float, Delay] = {}
+_DELAY_CACHE_MAX = 1024
+
+
+def delay_of(duration: float) -> Delay:
+    """A pooled :class:`Delay`; prefer this for repeated durations."""
+    pooled = _DELAY_CACHE.get(duration)
+    if pooled is None:
+        pooled = Delay(duration)
+        if len(_DELAY_CACHE) < _DELAY_CACHE_MAX:
+            _DELAY_CACHE[duration] = pooled
+    return pooled
 
 
 class Event:
@@ -62,8 +86,9 @@ class Event:
         self.triggered = True
         self.value = value
         waiters, self._waiters = self._waiters, []
+        schedule = self.sim._schedule
         for process in waiters:
-            self.sim._schedule(0.0, process, value)
+            schedule(0.0, process, value)
 
     def add_waiter(self, process: "Process") -> None:
         if self.triggered:
@@ -94,7 +119,14 @@ class Process:
             self.result = stop.value
             self.done_event.trigger(stop.value)
             return
-        if isinstance(yielded, Delay):
+        # Exact-type checks first: Delay and Event are final in practice,
+        # so one identity compare replaces an isinstance pair per yield.
+        cls = yielded.__class__
+        if cls is Delay:
+            self.sim._schedule(yielded.duration, self, None)
+        elif cls is Event:
+            yielded.add_waiter(self)
+        elif isinstance(yielded, Delay):
             self.sim._schedule(yielded.duration, self, None)
         elif isinstance(yielded, Event):
             yielded.add_waiter(self)
@@ -133,8 +165,8 @@ class Simulator:
 
     def __init__(self) -> None:
         self.now: float = 0.0
-        self._queue: List[Tuple[float, int, Process, Any]] = []
-        self._sequence = itertools.count()
+        self._queue: List[Tuple[float, int, Optional[Process], Any]] = []
+        self._next_seq = itertools.count().__next__
         self._stopped = False
 
     # -- scheduling ------------------------------------------------------
@@ -147,7 +179,7 @@ class Simulator:
 
     def _schedule(self, delay: float, process: Process, value: Any) -> None:
         heapq.heappush(
-            self._queue, (self.now + delay, next(self._sequence), process, value)
+            self._queue, (self.now + delay, self._next_seq(), process, value)
         )
 
     def call_at(self, when: float, callback: Callable[[], None]) -> None:
@@ -157,7 +189,7 @@ class Simulator:
         wrapper) -- they are the fabric's hot path.
         """
         heapq.heappush(
-            self._queue, (max(when, self.now), next(self._sequence), None, callback)
+            self._queue, (max(when, self.now), self._next_seq(), None, callback)
         )
 
     def event(self) -> Event:
@@ -165,46 +197,71 @@ class Simulator:
 
     # -- execution -------------------------------------------------------
 
-    def run(self, until: Optional[float] = None) -> float:
-        """Run until the queue drains or simulated time reaches ``until``.
+    def _drain(
+        self,
+        until: Optional[float],
+        target: Optional[Process],
+        limit: Optional[float],
+    ) -> None:
+        """The single event loop behind :meth:`run` and
+        :meth:`run_until_complete`.
 
-        Returns the final simulated time.
+        Pops events until the queue empties, :meth:`stop` is called,
+        ``target`` finishes, or the next event lies beyond ``until``
+        (pause: event stays queued) / ``limit`` (error).
         """
-        self._stopped = False
-        while self._queue and not self._stopped:
-            when, _, process, value = self._queue[0]
+        queue = self._queue
+        pop = heapq.heappop
+        while queue and not self._stopped:
+            if target is not None and target.finished:
+                return
+            when, _seq, process, value = queue[0]
             if until is not None and when > until:
                 self.now = until
-                break
-            heapq.heappop(self._queue)
+                return
+            if limit is not None and when > limit:
+                raise InvalidState(
+                    f"{target.name if target else 'run'} did not finish "
+                    f"before {limit}"
+                )
+            pop(queue)
             self.now = when
             if process is None:
                 value()  # plain callback scheduled via call_at
             elif not process.finished:
                 process._step(value)
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until the queue drains, :meth:`stop` is called, or
+        simulated time reaches ``until``.  Returns the final simulated
+        time.
+        """
+        self._stopped = False
+        self._drain(until, None, None)
         if until is not None and self.now < until and not self._stopped:
             self.now = until
         return self.now
 
     def run_until_complete(self, process: Process, limit: float = 1e12) -> Any:
-        """Run until ``process`` finishes; returns its result."""
-        while not process.finished:
-            if not self._queue:
-                raise InvalidState(
-                    f"deadlock: {process.name} pending with empty event queue"
-                )
-            when, _, proc, value = heapq.heappop(self._queue)
-            if when > limit:
-                raise InvalidState(f"{process.name} did not finish before {limit}")
-            self.now = when
-            if proc is None:
-                value()
-            elif not proc.finished:
-                proc._step(value)
-        return process.result
+        """Run until ``process`` finishes; returns its result.
+
+        :meth:`stop` interrupts this entry point too (returning ``None``
+        when the process has not finished); an empty queue with the
+        process still pending is a deadlock.
+        """
+        self._stopped = False
+        self._drain(None, process, limit)
+        if process.finished:
+            return process.result
+        if self._stopped:
+            return None
+        raise InvalidState(
+            f"deadlock: {process.name} pending with empty event queue"
+        )
 
     def stop(self) -> None:
-        """Stop the current :meth:`run` after the in-flight step."""
+        """Stop the current :meth:`run` / :meth:`run_until_complete`
+        after the in-flight step."""
         self._stopped = True
 
     # -- helpers ---------------------------------------------------------

@@ -27,6 +27,13 @@ ABOVE_ALL_RANK = 5
 
 
 def encode_component(value: Any) -> Tuple[int, Any]:
+    # Exact-class checks settle the overwhelmingly common scalar types
+    # before the isinstance ladder (which must test bool before int).
+    cls = value.__class__
+    if cls is int or cls is float:
+        return (2, value)
+    if cls is str:
+        return (3, value)
     if value is None:
         return _NULL
     if isinstance(value, bool):
@@ -42,4 +49,4 @@ def encode_component(value: Any) -> Tuple[int, Any]:
 
 def encode_key(key: Tuple[Any, ...]) -> Tuple[Tuple[int, Any], ...]:
     """Encode a whole index key tuple."""
-    return tuple(encode_component(component) for component in key)
+    return tuple([encode_component(component) for component in key])

@@ -86,6 +86,11 @@ class TableSchema:
                 raise SchemaError(
                     f"table {name}: primary key column {key_column!r} undefined"
                 )
+        self._pk_positions: Tuple[int, ...] = tuple(
+            self._positions[name] for name in self.primary_key
+        )
+        # index name -> column positions, filled lazily by index_key_of
+        self._index_positions: Dict[str, Tuple[int, ...]] = {}
         self.indexes: List[IndexDef] = []
 
     # -- column access ---------------------------------------------------------
@@ -111,21 +116,33 @@ class TableSchema:
     def make_row(self, values: Dict[str, Any]) -> Tuple[Any, ...]:
         """Build a storage payload tuple from a column->value mapping,
         applying defaults, NOT NULL checks, and type coercion."""
+        positions = self._positions
+        # Callers overwhelmingly pass already-lowercased column names, in
+        # which case ``values`` can be used directly without rebuilding it.
+        for name in values:
+            if name not in positions:
+                provided = {name.lower(): value for name, value in values.items()}
+                for lowered in provided:
+                    if lowered not in positions:
+                        raise SchemaError(
+                            f"table {self.name}: no column {lowered!r}"
+                        )
+                break
+        else:
+            provided = values
         row: List[Any] = []
-        provided = {name.lower(): value for name, value in values.items()}
-        for name in provided:
-            if name not in self._positions:
-                raise SchemaError(f"table {self.name}: no column {name!r}")
+        append = row.append
         for column in self.columns:
-            if column.name in provided:
-                value = coerce(provided[column.name], column.type, column.name)
+            name = column.name
+            if name in provided:
+                value = coerce(provided[name], column.type, name)
             else:
                 value = column.default
             if value is None and not column.nullable:
                 raise SchemaError(
-                    f"table {self.name}: column {column.name} is NOT NULL"
+                    f"table {self.name}: column {name} is NOT NULL"
                 )
-            row.append(value)
+            append(value)
         return tuple(row)
 
     def row_to_dict(self, row: Tuple[Any, ...]) -> Dict[str, Any]:
@@ -133,10 +150,14 @@ class TableSchema:
 
     def key_of(self, row: Tuple[Any, ...]) -> Tuple[Any, ...]:
         """Primary-key tuple of a payload row."""
-        return tuple(row[self._positions[name]] for name in self.primary_key)
+        return tuple([row[position] for position in self._pk_positions])
 
     def index_key_of(self, index: IndexDef, row: Tuple[Any, ...]) -> Tuple[Any, ...]:
-        return tuple(row[self._positions[name]] for name in index.columns)
+        positions = self._index_positions.get(index.name)
+        if positions is None:
+            positions = tuple(self._positions[name] for name in index.columns)
+            self._index_positions[index.name] = positions
+        return tuple([row[position] for position in positions])
 
     @property
     def primary_index(self) -> IndexDef:

@@ -52,10 +52,17 @@ def coerce(value: Any, column_type: ColumnType, column_name: str = "?") -> Any:
     """Validate/convert ``value`` for storage in a column.
 
     ``None`` passes through (nullability is checked separately).
+
+    Runs once per column per row built, so the well-typed cases (an
+    ``int`` in an INT column, a ``str`` in TEXT, ...) are resolved with
+    two identity checks before the general validation ladder.
     """
     if value is None:
         return None
-    if column_type in (ColumnType.INT, ColumnType.BIGINT):
+    cls = value.__class__
+    if column_type is ColumnType.INT or column_type is ColumnType.BIGINT:
+        if cls is int:
+            return value
         if isinstance(value, bool) or not isinstance(value, int):
             if isinstance(value, float) and value.is_integer():
                 return int(value)
@@ -63,22 +70,30 @@ def coerce(value: Any, column_type: ColumnType, column_name: str = "?") -> Any:
                 f"column {column_name}: expected integer, got {value!r}"
             )
         return value
-    if column_type in (ColumnType.FLOAT, ColumnType.DECIMAL, ColumnType.TIMESTAMP):
+    if (
+        column_type is ColumnType.FLOAT
+        or column_type is ColumnType.DECIMAL
+        or column_type is ColumnType.TIMESTAMP
+    ):
+        if cls is float:
+            return value
+        if cls is int:
+            return float(value)
         if isinstance(value, bool) or not isinstance(value, (int, float)):
             raise SchemaError(
                 f"column {column_name}: expected numeric, got {value!r}"
             )
         return float(value)
     if column_type is ColumnType.TEXT:
-        if not isinstance(value, str):
-            raise SchemaError(
-                f"column {column_name}: expected text, got {value!r}"
-            )
-        return value
+        if cls is str or isinstance(value, str):
+            return value
+        raise SchemaError(
+            f"column {column_name}: expected text, got {value!r}"
+        )
     if column_type is ColumnType.BOOL:
-        if not isinstance(value, bool):
-            raise SchemaError(
-                f"column {column_name}: expected bool, got {value!r}"
-            )
-        return value
+        if cls is bool or isinstance(value, bool):
+            return value
+        raise SchemaError(
+            f"column {column_name}: expected bool, got {value!r}"
+        )
     raise SchemaError(f"unknown column type {column_type!r}")

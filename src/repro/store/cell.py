@@ -33,7 +33,32 @@ def approx_size(value: Any) -> int:
     The simulator charges bandwidth by message size; an estimate within a
     factor of two is plenty.  Objects can opt in to an exact answer by
     defining ``approx_size()`` (records and index nodes do).
+
+    This runs for every key and payload the simulated fabric ships, so
+    the common scalar and row-tuple shapes take exact-type fast paths
+    (a plain ``int``/``str``/``tuple`` cannot define ``approx_size``);
+    everything else falls back to the generic protocol below.
     """
+    cls = value.__class__
+    if cls is int:
+        return 8
+    if cls is str:
+        return len(value)
+    if cls is tuple or cls is list:
+        total = 8
+        for item in value:
+            icls = item.__class__
+            if icls is int:
+                total += 8
+            elif icls is str:
+                total += len(item)
+            elif icls is float:
+                total += 8
+            else:
+                total += approx_size(item)
+        return total
+    if cls is float:
+        return 8
     if value is None:
         return 1
     method = getattr(value, "approx_size", None)

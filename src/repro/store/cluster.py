@@ -24,6 +24,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro import effects
 from repro.errors import InvalidState, NodeUnavailable
+from repro.store.cell import approx_size
 from repro.store.node import StorageNode
 from repro.store.partition import HashPartitioner, PartitionMap
 
@@ -46,6 +47,28 @@ _WRITE_OPS = (
     effects.DeleteIfVersion,
     effects.Increment,
 )
+
+# Exact-class sets let the hot routing/apply paths replace isinstance
+# chains with one dict lookup; subclasses still take the generic path.
+_WRITE_CLASSES = frozenset(_WRITE_OPS)
+_READ_CLASSES = frozenset((effects.Get, effects.Scan))
+
+_APPLY_DISPATCH = {
+    effects.Get: lambda node, pid, op: node.do_get(pid, op.space, op.key),
+    effects.PutIfVersion: lambda node, pid, op: node.do_put_if_version(
+        pid, op.space, op.key, op.value, op.expected_version
+    ),
+    effects.Put: lambda node, pid, op: node.do_put(
+        pid, op.space, op.key, op.value
+    ),
+    effects.Delete: lambda node, pid, op: node.do_delete(pid, op.space, op.key),
+    effects.DeleteIfVersion: lambda node, pid, op: node.do_delete_if_version(
+        pid, op.space, op.key, op.expected_version
+    ),
+    effects.Increment: lambda node, pid, op: node.do_increment(
+        pid, op.space, op.key, op.delta
+    ),
+}
 
 
 class StorageCluster:
@@ -96,9 +119,16 @@ class StorageCluster:
 
     def routing(self, op: effects.StoreRequest) -> OpRouting:
         """Routing decision for one single-key request."""
-        partition_id = self.partition_of(op.key)
-        master = self.partition_map.master_of(partition_id)
-        return OpRouting(partition_id, master, isinstance(op, _WRITE_OPS))
+        partition_id = self.partitioner.partition_of(op.key)
+        master = self.partition_map.assignments[partition_id].replicas[0]
+        cls = op.__class__
+        if cls in _WRITE_CLASSES:
+            is_write = True
+        elif cls in _READ_CLASSES:
+            is_write = False
+        else:
+            is_write = isinstance(op, _WRITE_OPS)
+        return OpRouting(partition_id, master, is_write)
 
     def scan_routing(self, op: effects.Scan) -> List[Tuple[int, int]]:
         """(partition_id, master_node_id) pairs a scan must visit."""
@@ -125,6 +155,15 @@ class StorageCluster:
         self, op: effects.StoreRequest, partition_id: int, node_id: int
     ) -> Tuple[Any, int]:
         """Run a single-key op on one node.  Returns (result, resp_size)."""
+        handler = _APPLY_DISPATCH.get(op.__class__)
+        if handler is not None:
+            return handler(self.nodes[node_id], partition_id, op)
+        return self._apply_slow(op, partition_id, node_id)
+
+    def _apply_slow(
+        self, op: effects.StoreRequest, partition_id: int, node_id: int
+    ) -> Tuple[Any, int]:
+        """isinstance fallback for subclassed request types."""
         node = self.nodes[node_id]
         if isinstance(op, effects.Get):
             return node.do_get(partition_id, op.space, op.key)
@@ -185,10 +224,13 @@ class StorageCluster:
     # -- sizing (used by the simulation driver) --------------------------------
 
     def request_size(self, op: effects.StoreRequest) -> int:
-        from repro.store.cell import approx_size
-
         base = 24 + approx_size(op.key)
-        if isinstance(op, (effects.Put, effects.PutIfVersion)):
+        cls = op.__class__
+        if (
+            cls is effects.Put
+            or cls is effects.PutIfVersion
+            or isinstance(op, (effects.Put, effects.PutIfVersion))
+        ):
             return base + approx_size(op.value)
         return base
 

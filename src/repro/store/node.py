@@ -114,8 +114,16 @@ class StorageNode:
     # Each returns (result, response_size_estimate, is_write).
 
     def do_get(self, partition_id: int, space: str, key: Any) -> Tuple[Any, int]:
-        self._check_alive()
-        cell = self.partition(partition_id).space(space).get(key)
+        # Hottest node op: inline the alive/partition/space lookups and
+        # avoid materializing an empty space dict for a miss on an unseen
+        # space (a pure read has no reason to allocate).
+        if not self.alive:
+            self._check_alive()
+        store = self.partitions.get(partition_id)
+        if store is None:
+            self.partition(partition_id)  # raises KeyNotFound
+        cells = store.spaces.get(space)
+        cell = cells.get(key) if cells is not None else None
         if cell is None:
             return (None, 0), 8
         return (cell.value, cell.version), 16 + approx_size(cell.value)
@@ -127,14 +135,13 @@ class StorageNode:
         store = self.partition(partition_id)
         cells = store.space(space)
         cell = cells.get(key)
-        new_size = approx_size(value) + approx_size(key)
         if cell is None:
-            self._charge(store, new_size)
+            self._charge(store, approx_size(value) + approx_size(key))
             cells[key] = Cell(value, 1)
             store.invalidate_scan_cache(space)
             return 1, 16
-        old_size = approx_size(cell.value) + approx_size(key)
-        self._charge(store, new_size - old_size)
+        # Replacing in place: the key's size cancels out of the delta.
+        self._charge(store, approx_size(value) - approx_size(cell.value))
         cell.value = value
         cell.version += 1
         return cell.version, 16

@@ -24,7 +24,31 @@ _MASK = (1 << 64) - 1
 
 
 def stable_hash(key: Any) -> int:
-    """Deterministic 64-bit hash for keys (ints, strings, nested tuples)."""
+    """Deterministic 64-bit hash for keys (ints, strings, nested tuples).
+
+    Routing hashes every key of every request, so the common exact types
+    (int, tuple-of-scalars, str) are dispatched on ``__class__`` before
+    the general isinstance ladder.  Both paths compute identical hashes.
+    """
+    cls = key.__class__
+    if cls is int:
+        return (key * 0x9E3779B97F4A7C15) & _MASK
+    if cls is tuple:
+        acc = _FNV_OFFSET
+        for part in key:
+            pcls = part.__class__
+            if pcls is int:
+                part_hash = (part * 0x9E3779B97F4A7C15) & _MASK
+            elif pcls is str:
+                part_hash = (
+                    zlib.crc32(part.encode("utf-8")) * 0x9E3779B97F4A7C15 & _MASK
+                )
+            else:
+                part_hash = stable_hash(part)
+            acc = (acc ^ part_hash) * _FNV_PRIME & _MASK
+        return acc
+    if cls is str:
+        return zlib.crc32(key.encode("utf-8")) * 0x9E3779B97F4A7C15 & _MASK
     if isinstance(key, bool):
         return 1 if key else 2
     if isinstance(key, int):

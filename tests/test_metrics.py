@@ -29,6 +29,29 @@ class TestLatencyStats:
         assert stats.p999_us == pytest.approx(999, abs=2)
         assert stats.max_us == 1000
 
+    def test_percentiles_interpolate_exactly(self):
+        # rank = fraction * (n - 1); value interpolated between the two
+        # closest order statistics (numpy's default definition).
+        stats = LatencyStats([1.0, 2.0])
+        assert stats.p50_us == pytest.approx(1.5)
+        assert stats.p99_us == pytest.approx(1.99)
+        assert stats.p999_us == pytest.approx(1.999)
+
+        stats = LatencyStats(list(range(1, 102)))  # 1..101, n=101
+        assert stats.p50_us == pytest.approx(51.0)
+        assert stats.p99_us == pytest.approx(100.0)
+        assert stats.p999_us == pytest.approx(100.9)
+
+        stats = LatencyStats([10.0, 20.0, 30.0, 40.0])  # n=4
+        assert stats.p50_us == pytest.approx(25.0)
+        assert stats.p99_us == pytest.approx(39.7)
+
+    def test_percentiles_single_sample(self):
+        stats = LatencyStats([42.0])
+        assert stats.p50_us == 42.0
+        assert stats.p99_us == 42.0
+        assert stats.p999_us == 42.0
+
     def test_ms_views(self):
         stats = LatencyStats([5000.0])
         assert stats.mean_ms == 5.0

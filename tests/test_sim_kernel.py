@@ -223,6 +223,55 @@ def test_stop_interrupts_run():
     assert trace == [1.0, 2.0, 3.0]
 
 
+def test_stop_interrupts_run_until_complete():
+    # run() and run_until_complete() share one drain loop; stop() must
+    # interrupt both entry points identically.
+    sim = Simulator()
+    trace = []
+
+    def stopper():
+        while True:
+            yield Delay(1.0)
+            trace.append(sim.now)
+            if sim.now >= 3.0:
+                sim.stop()
+
+    def forever():
+        while True:
+            yield Delay(10.0)
+
+    sim.spawn(stopper())
+    target = sim.spawn(forever())
+    result = sim.run_until_complete(target)
+    assert result is None          # interrupted, not finished
+    assert not target.finished
+    assert trace == [1.0, 2.0, 3.0]
+    assert sim.now == 3.0
+
+    # A subsequent run() resumes from where stop() left off (the stopper
+    # fires at t=4.0 and immediately stops the simulation again).
+    trace.clear()
+    sim.run(until=5.0)
+    assert trace == [4.0]
+    assert sim.now == 4.0
+
+
+def test_stop_then_run_resumes():
+    sim = Simulator()
+    seen = []
+
+    def proc():
+        for _ in range(4):
+            yield Delay(1.0)
+            seen.append(sim.now)
+            sim.stop()
+
+    sim.spawn(proc())
+    for expected in (1.0, 2.0, 3.0, 4.0):
+        sim.run()
+        assert seen[-1] == expected
+
+
 def test_yielding_garbage_raises():
     sim = Simulator()
 

@@ -1,0 +1,24 @@
+#!/usr/bin/env python
+"""Run the simulation-stack microbenchmarks and write BENCH_perf.json.
+
+Thin wrapper around :mod:`repro.bench.perfsuite` that works from a source
+checkout without installation::
+
+    python tools/perf_report.py                      # full suite -> BENCH_perf.json
+    python tools/perf_report.py --smoke -o -         # CI smoke, print to stdout
+    python tools/perf_report.py --baseline old.json  # diff against a saved run
+
+After ``pip install -e .`` the same CLI is available as ``repro-perf``.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.bench.perfsuite import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())
