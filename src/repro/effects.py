@@ -17,7 +17,7 @@ benchmarked is the library itself, not a model of it.
 
 from __future__ import annotations
 
-from typing import Any, List, Optional, Sequence, Tuple
+from typing import Any, Generator, Optional, Sequence
 
 
 class Request:
@@ -36,7 +36,7 @@ class StoreRequest(Request):
 
     __slots__ = ("space", "key")
 
-    def __init__(self, space: str, key: Any):
+    def __init__(self, space: str, key: Any) -> None:
         self.space = space
         self.key = key
 
@@ -56,7 +56,7 @@ class Put(StoreRequest):
 
     __slots__ = ("value",)
 
-    def __init__(self, space: str, key: Any, value: Any):
+    def __init__(self, space: str, key: Any, value: Any) -> None:
         super().__init__(space, key)
         self.value = value
 
@@ -72,7 +72,7 @@ class PutIfVersion(StoreRequest):
 
     __slots__ = ("value", "expected_version")
 
-    def __init__(self, space: str, key: Any, value: Any, expected_version: int):
+    def __init__(self, space: str, key: Any, value: Any, expected_version: int) -> None:
         super().__init__(space, key)
         self.value = value
         self.expected_version = expected_version
@@ -89,7 +89,7 @@ class DeleteIfVersion(StoreRequest):
 
     __slots__ = ("expected_version",)
 
-    def __init__(self, space: str, key: Any, expected_version: int):
+    def __init__(self, space: str, key: Any, expected_version: int) -> None:
         super().__init__(space, key)
         self.expected_version = expected_version
 
@@ -103,7 +103,7 @@ class Increment(StoreRequest):
 
     __slots__ = ("delta",)
 
-    def __init__(self, space: str, key: Any, delta: int = 1):
+    def __init__(self, space: str, key: Any, delta: int = 1) -> None:
         super().__init__(space, key)
         self.delta = delta
 
@@ -126,7 +126,7 @@ class Scan(StoreRequest):
 
     def __init__(self, space: str, start: Any, end: Any,
                  limit: Optional[int] = None, snapshot: Any = None,
-                 scan_filter: Any = None, projection: Any = None):
+                 scan_filter: Any = None, projection: Any = None) -> None:
         super().__init__(space, start)
         self.end = end
         self.limit = limit
@@ -149,7 +149,7 @@ class Batch(Request):
 
     __slots__ = ("ops",)
 
-    def __init__(self, ops: Sequence[StoreRequest]):
+    def __init__(self, ops: Sequence[StoreRequest]) -> None:
         self.ops = list(ops)
 
     def __repr__(self) -> str:
@@ -182,7 +182,7 @@ class ReportCommitted(CommitManagerRequest):
 
     __slots__ = ("tid",)
 
-    def __init__(self, tid: int):
+    def __init__(self, tid: int) -> None:
         self.tid = tid
 
 
@@ -191,7 +191,7 @@ class ReportAborted(CommitManagerRequest):
 
     __slots__ = ("tid",)
 
-    def __init__(self, tid: int):
+    def __init__(self, tid: int) -> None:
         self.tid = tid
 
 
@@ -209,7 +209,7 @@ class Compute(Request):
 
     __slots__ = ("duration",)
 
-    def __init__(self, duration: float):
+    def __init__(self, duration: float) -> None:
         self.duration = duration
 
 
@@ -218,11 +218,11 @@ class Sleep(Request):
 
     __slots__ = ("duration",)
 
-    def __init__(self, duration: float):
+    def __init__(self, duration: float) -> None:
         self.duration = duration
 
 
-def run_direct(generator, router) -> Any:
+def run_direct(generator: Generator[Any, Any, Any], router: Any) -> Any:
     """Drive a protocol coroutine to completion, resolving each request
     immediately via ``router.execute``.  Returns the coroutine's result."""
     result: Any = None

@@ -1,0 +1,90 @@
+"""Baseline support: grandfather existing findings, block new ones.
+
+A baseline is a checked-in JSON file mapping finding fingerprints
+(``rule``, path, stripped source line) to an allowed count.  Findings
+matching a baseline entry are filtered out of the run (reported only in
+the summary), so ``repro-lint`` can be turned on red-free over a tree
+with known debt while still failing on anything *new*.  Fixing a
+baselined finding never breaks the build -- unmatched entries are simply
+stale; ``--write-baseline`` regenerates the file from the current tree.
+
+The intended workflow (docs/static-analysis.md): real bugs get fixed,
+intentional violations get an inline ``# repro-lint: ignore[...]`` with a
+justification, and the baseline holds only debt that is queued for a
+later PR.  The shipped baseline is empty.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Tuple, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle is type-only
+    from repro.lint.engine import Finding
+
+_VERSION = 1
+
+
+class Baseline:
+    """In-memory view of a baseline file."""
+
+    def __init__(self, counts: Dict[Tuple[str, str, str], int],
+                 path: str = ""):
+        self.counts = counts
+        self.path = path
+
+    @classmethod
+    def empty(cls) -> "Baseline":
+        return cls({})
+
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        if not os.path.exists(path):
+            return cls({}, path)
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+        if data.get("version") != _VERSION:
+            raise ValueError(
+                f"unsupported baseline version {data.get('version')!r} "
+                f"in {path}"
+            )
+        counts: Dict[Tuple[str, str, str], int] = {}
+        for entry in data.get("findings", []):
+            key = (entry["rule"], entry["path"], entry["line_text"])
+            counts[key] = counts.get(key, 0) + int(entry.get("count", 1))
+        return cls(counts, path)
+
+    @classmethod
+    def from_findings(cls, findings: List["Finding"],
+                      path: str = "") -> "Baseline":
+        counts: Dict[Tuple[str, str, str], int] = {}
+        for finding in findings:
+            key = finding.fingerprint()
+            counts[key] = counts.get(key, 0) + 1
+        return cls(counts, path)
+
+    def filter(self, findings: List["Finding"]) -> Tuple[List["Finding"], int]:
+        """Split findings into (new, baselined-count)."""
+        remaining = dict(self.counts)
+        kept: List["Finding"] = []
+        matched = 0
+        for finding in findings:
+            key = finding.fingerprint()
+            if remaining.get(key, 0) > 0:
+                remaining[key] -= 1
+                matched += 1
+            else:
+                kept.append(finding)
+        return kept, matched
+
+    def save(self, path: str) -> None:
+        entries = [
+            {"rule": rule, "path": rel_path, "line_text": line_text,
+             "count": count}
+            for (rule, rel_path, line_text), count in sorted(self.counts.items())
+        ]
+        payload = {"version": _VERSION, "findings": entries}
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")

@@ -1,0 +1,155 @@
+"""Command-line interface for repro-lint.
+
+Usage::
+
+    repro-lint [PATHS...]              lint (default: src)
+    repro-lint --json src              machine-readable findings
+    repro-lint --explain RL003         print one rule's documentation
+    repro-lint --list-rules            one line per rule
+    repro-lint --write-baseline src    grandfather current findings
+
+Exit codes: 0 clean, 1 findings, 2 usage or internal error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import textwrap
+from typing import List, Optional
+
+from repro.lint.baseline import Baseline
+from repro.lint.engine import lint_sources, load_sources, run_rules
+from repro.lint.rules import ALL_RULES, RULES_BY_CODE
+
+DEFAULT_BASELINE = ".repro-lint-baseline.json"
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="AST invariant checker for the repro codebase: "
+                    "effect-coroutine hygiene, simulation determinism, "
+                    "and hot-path contracts.",
+    )
+    parser.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories to lint (default: src)")
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="emit findings as JSON on stdout")
+    parser.add_argument("--baseline", default=None, metavar="FILE",
+                        help=f"baseline file (default: {DEFAULT_BASELINE} "
+                             f"when it exists)")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="ignore any baseline file")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="write current findings to the baseline file "
+                             "and exit 0")
+    parser.add_argument("--explain", metavar="RULE", default=None,
+                        help="print the documentation for one rule "
+                             "(e.g. --explain RL001) and exit")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="list all rules and exit")
+    return parser
+
+
+def _explain(code: str) -> int:
+    rule = RULES_BY_CODE.get(code.upper())
+    if rule is None:
+        known = ", ".join(sorted(RULES_BY_CODE))
+        print(f"repro-lint: unknown rule {code!r} (known: {known})",
+              file=sys.stderr)
+        return 2
+    print(f"{rule.code}: {rule.title}")
+    print()
+    print(textwrap.dedent(rule.explain).rstrip())
+    return 0
+
+
+def _list_rules() -> int:
+    for rule in ALL_RULES:
+        print(f"{rule.code}  {rule.title}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    if args.explain is not None:
+        return _explain(args.explain)
+    if args.list_rules:
+        return _list_rules()
+
+    try:
+        sources = load_sources(args.paths)
+    except FileNotFoundError as exc:
+        print(f"repro-lint: no such file or directory: {exc}",
+              file=sys.stderr)
+        return 2
+
+    baseline_path = args.baseline or DEFAULT_BASELINE
+
+    if args.write_baseline:
+        findings = run_rules(sources)
+        by_path = {source.path: source for source in sources}
+        kept = [f for f in findings
+                if not (by_path.get(f.path) or _NEVER).is_suppressed(f)]
+        Baseline.from_findings(kept).save(baseline_path)
+        print(f"repro-lint: wrote {len(kept)} finding(s) to {baseline_path}")
+        return 0
+
+    baseline = None
+    if not args.no_baseline:
+        try:
+            baseline = Baseline.load(baseline_path)
+        except (ValueError, OSError) as exc:
+            print(f"repro-lint: cannot read baseline {baseline_path}: {exc}",
+                  file=sys.stderr)
+            return 2
+
+    result = lint_sources(sources, baseline=baseline)
+
+    if args.as_json:
+        payload = {
+            "findings": [finding.to_dict() for finding in result.findings],
+            "files_checked": result.files_checked,
+            "baselined": result.baselined,
+            "suppressed": result.suppressed,
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return result.exit_code
+
+    for finding in result.findings:
+        print(f"{finding.path}:{finding.line}:{finding.col + 1}: "
+              f"{finding.rule} {finding.message}")
+        if finding.line_text.strip():
+            print(f"    {finding.line_text.strip()}")
+    extras = []
+    if result.baselined:
+        extras.append(f"{result.baselined} baselined")
+    if result.suppressed:
+        extras.append(f"{result.suppressed} suppressed")
+    suffix = f" ({', '.join(extras)})" if extras else ""
+    if result.findings:
+        print(f"repro-lint: {len(result.findings)} finding(s) in "
+              f"{result.files_checked} file(s){suffix}")
+        print("repro-lint: run `repro-lint --explain <RULE>` for the "
+              "rationale and fix for any rule")
+    else:
+        print(f"repro-lint: clean -- {result.files_checked} file(s)"
+              f"{suffix}")
+    return result.exit_code
+
+
+class _NeverSuppressed:
+    @staticmethod
+    def is_suppressed(_finding: object) -> bool:
+        return False
+
+
+_NEVER = _NeverSuppressed()
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,261 @@
+"""Pass-1 symbol index for repro-lint.
+
+The interesting rules (RL001/RL002/RL006) need to know, for an arbitrary
+call or class definition, whether a name refers to an *effect class* (a
+subclass of :class:`repro.effects.Request`), a *generator coroutine*
+(a function whose body contains ``yield``), or one of the simulation
+kernel's hot classes (``Delay``/``Event``).  A single file rarely contains
+enough information to decide, so the engine first summarizes every module
+(imports, generator functions, classes and their bases) and then resolves
+names through those summaries.
+
+Resolution is deliberately name-based, not type-inferring: a symbol
+resolves to ``(module, name)`` through the file's import table, and class
+bases are chased to a fixpoint across all indexed modules.  Method calls
+are resolved only through ``self``/a locally defined class, never through
+arbitrary receiver expressions -- an unresolvable receiver produces *no*
+finding rather than a speculative one.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set, Tuple
+
+Symbol = Tuple[str, str]  # (dotted module, name)
+
+#: Effect classes every repro tree is assumed to have, so single-file
+#: fixtures (and partial lint runs) resolve them without parsing
+#: repro/effects.py itself.  Discovery extends this set transitively.
+EFFECT_CLASS_SEEDS: Set[Symbol] = {
+    ("repro.effects", name)
+    for name in (
+        "Request",
+        "StoreRequest",
+        "Get",
+        "Put",
+        "PutIfVersion",
+        "Delete",
+        "DeleteIfVersion",
+        "Increment",
+        "Scan",
+        "Batch",
+        "CommitManagerRequest",
+        "StartTransaction",
+        "ReportCommitted",
+        "ReportAborted",
+        "Compute",
+        "Sleep",
+    )
+}
+
+#: The simulation kernel's hot classes: subclasses share the Request
+#: __slots__ contract (docs/performance.md) and are covered by RL006.
+KERNEL_CLASS_SEEDS: Set[Symbol] = {
+    (module, name)
+    for module in ("repro.sim.kernel", "repro.sim")
+    for name in ("Delay", "Event")
+}
+
+#: Functions that *return* an effect/kernel object; calling one and
+#: dropping the result is the same bug as dropping a constructor call.
+EFFECT_FACTORY_SEEDS: Set[Symbol] = {
+    ("repro.effects", "multi_get"),
+    ("repro.sim.kernel", "delay_of"),
+    ("repro.sim", "delay_of"),
+}
+
+
+def function_is_generator(fn: ast.AST) -> bool:
+    """True if ``fn``'s own body contains ``yield`` / ``yield from``
+    (yields inside nested defs/lambdas do not count)."""
+    stack: List[ast.AST] = list(ast.iter_child_nodes(fn))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.Yield, ast.YieldFrom)):
+            return True
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+    return False
+
+
+class ClassSummary:
+    """What RL002/RL006 need to know about one class definition."""
+
+    __slots__ = ("name", "lineno", "col_offset", "bases", "generator_methods",
+                 "has_slots", "local_base_names")
+
+    def __init__(self, node: ast.ClassDef):
+        self.name = node.name
+        self.lineno = node.lineno
+        self.col_offset = node.col_offset
+        self.bases: List[ast.expr] = list(node.bases)
+        self.generator_methods: Set[str] = set()
+        self.has_slots = False
+        self.local_base_names: List[str] = [
+            base.id for base in node.bases if isinstance(base, ast.Name)
+        ]
+        for item in node.body:
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if function_is_generator(item):
+                    self.generator_methods.add(item.name)
+            elif isinstance(item, ast.Assign):
+                for target in item.targets:
+                    if isinstance(target, ast.Name) and target.id == "__slots__":
+                        self.has_slots = True
+            elif isinstance(item, ast.AnnAssign):
+                if (isinstance(item.target, ast.Name)
+                        and item.target.id == "__slots__"):
+                    self.has_slots = True
+
+
+class ModuleSummary:
+    """Imports and definitions of one module, for name resolution."""
+
+    def __init__(self, module: str, tree: ast.Module):
+        self.module = module
+        # local alias -> dotted module ("import repro.effects as fx")
+        self.module_aliases: Dict[str, str] = {}
+        # local alias -> (defining module, original name)
+        self.from_imports: Dict[str, Symbol] = {}
+        self.generator_functions: Set[str] = set()
+        self.classes: Dict[str, ClassSummary] = {}
+        self._collect(tree)
+
+    def _collect(self, tree: ast.Module) -> None:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    # "import a.b" binds "a"; "import a.b as c" binds c->a.b
+                    self.module_aliases[local] = (
+                        alias.name if alias.asname else alias.name.split(".")[0]
+                    )
+            elif isinstance(node, ast.ImportFrom):
+                source = node.module or ""
+                if node.level:  # relative import: anchor at this package
+                    parts = self.module.split(".")
+                    anchor = parts[: max(len(parts) - node.level, 0)]
+                    source = ".".join(anchor + ([source] if source else []))
+                for alias in node.names:
+                    local = alias.asname or alias.name
+                    self.from_imports[local] = (source, alias.name)
+            elif isinstance(node, ast.ClassDef):
+                self.classes[node.name] = ClassSummary(node)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if function_is_generator(node):
+                    self.generator_functions.add(node.name)
+
+    # -- name resolution -------------------------------------------------
+
+    def resolve_name(self, name: str) -> Optional[Symbol]:
+        """Resolve a bare name used in this module to ``(module, symbol)``."""
+        if name in self.from_imports:
+            return self.from_imports[name]
+        if name in self.classes or name in self.generator_functions:
+            return (self.module, name)
+        return None
+
+    def resolve_qualifier(self, name: str) -> Optional[str]:
+        """Resolve a name used as an attribute base to a dotted module."""
+        if name in self.module_aliases:
+            return self.module_aliases[name]
+        if name in self.from_imports:
+            # "from repro import effects" -> effects is repro.effects
+            module, symbol = self.from_imports[name]
+            return f"{module}.{symbol}" if module else symbol
+        return None
+
+    def resolve_callable(self, func: ast.expr) -> Optional[Symbol]:
+        """Resolve the callee of a Call to a symbol, or None.
+
+        Handles ``name(...)`` and ``mod.name(...)``; receiver expressions
+        other than an imported module are left unresolved on purpose.
+        """
+        if isinstance(func, ast.Name):
+            return self.resolve_name(func.id)
+        if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+            qualifier = self.resolve_qualifier(func.value.id)
+            if qualifier is not None:
+                return (qualifier, func.attr)
+        return None
+
+
+class ProjectIndex:
+    """Cross-module view: effect-class closure + generator registry."""
+
+    def __init__(self, summaries: Dict[str, ModuleSummary]):
+        self.summaries = summaries
+        self.effect_classes: Set[Symbol] = set(EFFECT_CLASS_SEEDS)
+        self.kernel_classes: Set[Symbol] = set(KERNEL_CLASS_SEEDS)
+        self.effect_factories: Set[Symbol] = set(EFFECT_FACTORY_SEEDS)
+        self._close_subclasses(self.effect_classes)
+        self._close_subclasses(self.kernel_classes)
+
+    def _close_subclasses(self, closure: Set[Symbol]) -> None:
+        changed = True
+        while changed:
+            changed = False
+            for summary in self.summaries.values():
+                for cls in summary.classes.values():
+                    symbol = (summary.module, cls.name)
+                    if symbol in closure:
+                        continue
+                    for base in cls.bases:
+                        resolved = self._resolve_base(summary, base)
+                        if resolved is not None and resolved in closure:
+                            closure.add(symbol)
+                            changed = True
+                            break
+
+    @staticmethod
+    def _resolve_base(summary: ModuleSummary, base: ast.expr) -> Optional[Symbol]:
+        if isinstance(base, ast.Name):
+            resolved = summary.resolve_name(base.id)
+            if resolved is not None:
+                return resolved
+            return (summary.module, base.id)  # forward/local reference
+        if isinstance(base, ast.Attribute) and isinstance(base.value, ast.Name):
+            qualifier = summary.resolve_qualifier(base.value.id)
+            if qualifier is not None:
+                return (qualifier, base.attr)
+        return None
+
+    # -- queries used by the rules ---------------------------------------
+
+    def is_effect_symbol(self, symbol: Optional[Symbol]) -> bool:
+        return symbol is not None and (
+            symbol in self.effect_classes or symbol in self.effect_factories
+        )
+
+    def is_slots_contract_symbol(self, symbol: Optional[Symbol]) -> bool:
+        return symbol is not None and (
+            symbol in self.effect_classes or symbol in self.kernel_classes
+        )
+
+    def is_generator_symbol(self, symbol: Optional[Symbol]) -> bool:
+        if symbol is None:
+            return False
+        module, name = symbol
+        summary = self.summaries.get(module)
+        return summary is not None and name in summary.generator_functions
+
+    def generator_methods_of(self, summary: ModuleSummary,
+                             class_name: str) -> Set[str]:
+        """Generator methods of ``class_name`` including locally defined
+        base classes (single module, name-based MRO approximation)."""
+        methods: Set[str] = set()
+        seen: Set[str] = set()
+        stack = [class_name]
+        while stack:
+            name = stack.pop()
+            if name in seen:
+                continue
+            seen.add(name)
+            cls = summary.classes.get(name)
+            if cls is None:
+                continue
+            methods.update(cls.generator_methods)
+            stack.extend(cls.local_base_names)
+        return methods

@@ -1,0 +1,498 @@
+"""The repro-lint rule catalog.
+
+Every rule is a :class:`Rule` subclass with a stable code (``RL001``..),
+a one-line title, and an ``explain`` docstring shown by
+``repro-lint --explain RL00N``.  Rules receive the parsed module plus the
+cross-module :class:`~repro.lint.index.ProjectIndex` and emit
+:class:`~repro.lint.engine.Finding` objects.
+
+The catalog is documented for humans in ``docs/static-analysis.md``; keep
+the two in sync when adding rules.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.lint.index import ModuleSummary, ProjectIndex
+
+# Packages whose code runs on *simulated* time.  Wall-clock reads here
+# bypass the event kernel and (worse) vary run to run, breaking the
+# determinism contract of repro/sim/kernel.py.  repro.bench is excluded:
+# measuring real elapsed time is its job.
+SIMULATED_TIME_PACKAGES: Tuple[str, ...] = (
+    "repro.sim",
+    "repro.core",
+    "repro.store",
+    "repro.index",
+    "repro.net",
+    "repro.baselines",
+)
+
+WALL_CLOCK_ATTRS = frozenset({
+    "time", "time_ns", "monotonic", "monotonic_ns", "sleep",
+    "perf_counter", "perf_counter_ns", "process_time", "process_time_ns",
+})
+
+MUTABLE_DEFAULT_CALLS = frozenset({
+    "list", "dict", "set", "bytearray",
+    "defaultdict", "deque", "Counter", "OrderedDict",
+})
+
+
+def in_packages(module: str, prefixes: Sequence[str]) -> bool:
+    return any(module == p or module.startswith(p + ".") for p in prefixes)
+
+
+class Rule:
+    """Base class: subclasses set ``code``/``title``/``explain`` and
+    implement :meth:`check`."""
+
+    code = "RL000"
+    title = "internal"
+    explain = ""
+
+    def check(self, module: ModuleSummary, tree: ast.Module,
+              index: ProjectIndex) -> Iterator[Tuple[ast.AST, str]]:
+        """Yield ``(node, message)`` pairs; the engine adds location."""
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+
+class _FunctionContext:
+    __slots__ = ("node", "is_generator", "class_name")
+
+    def __init__(self, node: ast.AST, is_generator: bool,
+                 class_name: Optional[str]):
+        self.node = node
+        self.is_generator = is_generator
+        self.class_name = class_name
+
+
+def _walk_functions(tree: ast.Module) -> Iterator[_FunctionContext]:
+    """Every function/method in the module with its enclosing class."""
+    from repro.lint.index import function_is_generator
+
+    def visit(node: ast.AST, class_name: Optional[str]) -> Iterator[_FunctionContext]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield _FunctionContext(
+                    child, function_is_generator(child), class_name
+                )
+                yield from visit(child, class_name)
+            elif isinstance(child, ast.ClassDef):
+                yield from visit(child, child.name)
+            else:
+                yield from visit(child, class_name)
+
+    return visit(tree, None)
+
+
+def _effect_call_name(node: ast.expr, module: ModuleSummary,
+                      index: ProjectIndex) -> Optional[str]:
+    """If ``node`` is a call constructing an effect (or calling an effect
+    factory like ``multi_get``), return the effect's display name."""
+    if not isinstance(node, ast.Call):
+        return None
+    symbol = module.resolve_callable(node.func)
+    if index.is_effect_symbol(symbol):
+        return symbol[1]
+    return None
+
+
+def _resolve_generator_call(node: ast.expr, module: ModuleSummary,
+                            index: ProjectIndex,
+                            class_name: Optional[str]) -> Optional[str]:
+    """If ``node`` calls a *resolvable* generator coroutine, return its
+    display name.  Resolvable means: a local/imported module-level
+    generator function, ``self.method`` / ``cls.method`` of the enclosing
+    class, or ``LocalClass.method``.  Arbitrary receivers stay unresolved
+    (no speculative findings)."""
+    if not isinstance(node, ast.Call):
+        return None
+    func = node.func
+    if isinstance(func, ast.Name):
+        symbol = module.resolve_name(func.id)
+        if index.is_generator_symbol(symbol):
+            return func.id
+        return None
+    if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+        receiver = func.value.id
+        if receiver in ("self", "cls") and class_name is not None:
+            if func.attr in index.generator_methods_of(module, class_name):
+                return f"{receiver}.{func.attr}"
+            return None
+        cls = module.classes.get(receiver)
+        if cls is not None:
+            if func.attr in index.generator_methods_of(module, receiver):
+                return f"{receiver}.{func.attr}"
+            return None
+        symbol = module.resolve_callable(func)
+        if index.is_generator_symbol(symbol):
+            return f"{receiver}.{func.attr}"
+    return None
+
+
+class RL001DroppedEffect(Rule):
+    code = "RL001"
+    title = "effect constructed but never yielded"
+    explain = """\
+Protocol code communicates with its driver exclusively by *yielding*
+repro.effects.Request objects: `ok, _ = yield effects.PutIfVersion(...)`.
+An effect that is constructed but never yielded is silently dropped -- the
+driver never executes it.  The classic instance is a deleted `yield` in
+front of a store-conditional write, which skips the LL/SC write-write
+conflict check that snapshot isolation depends on and corrupts the run
+without any error.
+
+RL001 fires when an effect construction (or a call to an effect factory
+such as `multi_get` / `delay_of`) appears as
+
+  * a bare expression statement:   `effects.PutIfVersion(space, k, v, ver)`
+  * a tuple-unpacking assignment:  `ok, _ = effects.PutIfVersion(...)`
+    (unpacking the request object itself -- a deleted `yield`)
+  * the operand of `yield from`:   `yield from effects.Get(space, k)`
+    (requests are not iterable; use a plain `yield`)
+
+Building an effect and *binding or passing* it is fine -- that is how
+batches are assembled:  `puts.append(effects.PutIfVersion(...))`.
+
+Fix: reinstate the `yield` (or pass the effect into the batch that yields
+it).  If the construction is intentional, add
+`# repro-lint: ignore[RL001]` with a justification.
+"""
+
+    def check(self, module, tree, index):
+        for stmt in ast.walk(tree):
+            if isinstance(stmt, ast.Expr):
+                name = _effect_call_name(stmt.value, module, index)
+                if name is not None:
+                    yield stmt, (
+                        f"effect {name!r} is constructed but never yielded; "
+                        f"a dropped `yield` skips the request entirely"
+                    )
+            elif isinstance(stmt, ast.Assign):
+                if any(isinstance(t, (ast.Tuple, ast.List))
+                       for t in stmt.targets):
+                    name = _effect_call_name(stmt.value, module, index)
+                    if name is not None:
+                        yield stmt, (
+                            f"unpacking effect {name!r} directly -- this "
+                            f"looks like a deleted `yield` before the "
+                            f"request"
+                        )
+            elif isinstance(stmt, ast.YieldFrom):
+                name = _effect_call_name(stmt.value, module, index)
+                if name is not None:
+                    yield stmt, (
+                        f"`yield from` on effect {name!r}; requests are "
+                        f"not iterable -- use a plain `yield`"
+                    )
+
+
+class RL002GeneratorNotDelegated(Rule):
+    code = "RL002"
+    title = "generator coroutine called without `yield from`"
+    explain = """\
+Every protocol operation in this repository (Transaction.read,
+BTree.insert, TxLog.append, ...) is a generator coroutine.  Calling one
+like a plain function only *creates* the generator -- none of its code
+runs.  This is the repo's equivalent of an un-awaited coroutine.
+
+RL002 fires when a call to a resolvable generator coroutine appears as
+
+  * a bare expression statement:    `self.abort()`     (nothing runs)
+  * `yield` instead of `yield from`: `yield self.read(key)`  (yields the
+    generator object to the driver as if it were an effect)
+  * `return` inside another generator: `return self.read(key)` (returns
+    the raw generator as the coroutine's StopIteration value)
+
+"Resolvable" means the callee is a module-level generator function
+(local or imported), `self.<method>` / `cls.<method>` of the enclosing
+class, or `LocalClass.<method>`.  Calls through arbitrary receivers are
+not flagged -- repro-lint prefers silence over speculation.
+
+Passing a freshly created generator *into* something that drives it
+(`sim.spawn(worker())`, `run_direct(txn(), router)`) is fine: the call is
+an argument, not a dropped statement.
+
+Fix: delegate with `yield from`, or drive the generator explicitly.
+"""
+
+    def check(self, module, tree, index):
+        for ctx in _walk_functions(tree):
+            cls = ctx.class_name
+            for child in ast.iter_child_nodes(ctx.node):
+                yield from self._check_body(child, module, index, ctx, cls)
+
+    def _check_body(self, node, module, index, ctx, cls):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)):
+            return  # nested defs get their own _FunctionContext
+        if isinstance(node, ast.Expr) and not isinstance(
+                node.value, (ast.Yield, ast.YieldFrom)):
+            name = _resolve_generator_call(node.value, module, index, cls)
+            if name is not None:
+                yield node, (
+                    f"generator coroutine {name}(...) called as a plain "
+                    f"statement; none of its code runs -- use `yield from`"
+                )
+        elif isinstance(node, ast.Yield):
+            inner = node.value
+            name = _resolve_generator_call(inner, module, index, cls) \
+                if inner is not None else None
+            if name is not None:
+                yield node, (
+                    f"`yield {name}(...)` hands the raw generator to the "
+                    f"driver -- use `yield from {name}(...)`"
+                )
+        elif isinstance(node, ast.Return) and ctx.is_generator:
+            name = _resolve_generator_call(node.value, module, index, cls) \
+                if node.value is not None else None
+            if name is not None:
+                yield node, (
+                    f"returning un-driven generator {name}(...) from a "
+                    f"generator coroutine -- use `return (yield from "
+                    f"{name}(...))`"
+                )
+        for child in ast.iter_child_nodes(node):
+            yield from self._check_body(child, module, index, ctx, cls)
+
+
+class RL003WallClock(Rule):
+    code = "RL003"
+    title = "wall-clock time in simulated-time code"
+    explain = """\
+Code under repro.sim / core / store / index / net / baselines runs on
+*simulated* time: the event kernel's clock, advanced deterministically by
+the scheduler.  Reading the wall clock there (time.time, time.monotonic,
+time.perf_counter, time.sleep, ...) has two failure modes: the value has
+nothing to do with simulated time, and -- worse -- it differs between
+runs, so the "fixed seed reproduces the exact same run" contract of
+repro/sim/kernel.py is broken in a way the digest-invariance harness can
+only detect after the fact.
+
+Use `sim.now` / `SimClock.now` (or take a clock as a dependency) instead.
+repro.bench is exempt: measuring real elapsed time is its job.
+
+RL003 fires on any use of a wall-clock attribute of the `time` module and
+on `from time import ...` of those names, inside the simulated-time
+packages.
+"""
+
+    def check(self, module, tree, index):
+        if not in_packages(module.module, SIMULATED_TIME_PACKAGES):
+            return
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Attribute):
+                if (node.attr in WALL_CLOCK_ATTRS
+                        and isinstance(node.value, ast.Name)
+                        and module.resolve_qualifier(node.value.id) == "time"):
+                    yield node, (
+                        f"wall-clock `time.{node.attr}` in simulated-time "
+                        f"module {module.module}; use the simulator clock"
+                    )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "time" and not node.level:
+                    for alias in node.names:
+                        if alias.name in WALL_CLOCK_ATTRS:
+                            yield node, (
+                                f"importing wall-clock `time.{alias.name}` "
+                                f"in simulated-time module {module.module}"
+                            )
+
+
+class RL004GlobalRandom(Rule):
+    code = "RL004"
+    title = "module-level random or unseeded Random()"
+    explain = """\
+Library code must draw randomness only from an explicitly seeded
+`random.Random(seed)` instance that is threaded through from the caller.
+The module-level functions (`random.random()`, `random.choice()`, ...)
+share one process-global, unseeded generator: any call sneaks
+nondeterminism past the simulation's determinism digest, and state leaks
+between otherwise independent runs.  An argument-less `random.Random()`
+seeds from the OS and is just as bad.
+
+RL004 fires on any use of a module-level `random.<fn>` (everything except
+the `Random` / `SystemRandom` classes) and on `random.Random()` calls
+without a seed argument.
+
+Fix: accept an `rng: random.Random` (or a seed) as a parameter, the way
+repro.workloads and repro.bench.simcluster already do.
+"""
+
+    _CLASS_NAMES = frozenset({"Random", "SystemRandom"})
+
+    def check(self, module, tree, index):
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            # random.<fn>(...) through the imported module
+            if (isinstance(func, ast.Attribute)
+                    and isinstance(func.value, ast.Name)
+                    and module.resolve_qualifier(func.value.id) == "random"):
+                if func.attr not in self._CLASS_NAMES:
+                    yield node, (
+                        f"module-level `random.{func.attr}` uses the "
+                        f"shared unseeded generator; thread a seeded "
+                        f"random.Random through instead"
+                    )
+                elif func.attr == "Random" and not node.args:
+                    yield node, (
+                        "`random.Random()` without a seed is "
+                        "nondeterministic; pass an explicit seed"
+                    )
+            # from random import Random; Random(...)
+            elif isinstance(func, ast.Name):
+                symbol = module.resolve_name(func.id)
+                if symbol == ("random", "Random") and not node.args:
+                    yield node, (
+                        "`Random()` without a seed is nondeterministic; "
+                        "pass an explicit seed"
+                    )
+
+
+class RL005SetIteration(Rule):
+    code = "RL005"
+    title = "iteration over a set"
+    explain = """\
+Set iteration order in CPython depends on insertion history and hash
+randomization of the element types.  In this codebase, iteration order
+routinely feeds the scheduler (which request is issued first), result
+assembly, and the determinism digest -- so looping over a set literal,
+set comprehension, or `set(...)` / `frozenset(...)` call is a latent
+nondeterminism bug even when it happens to pass today.
+
+RL005 fires when the iterable of a `for` statement or a comprehension is
+a set display, a set comprehension, or a direct `set(...)` /
+`frozenset(...)` call.
+
+Fix: iterate a list/tuple, or wrap the set in `sorted(...)` to pin an
+order.  Membership *tests* against sets are of course fine.
+"""
+
+    @staticmethod
+    def _is_set_expr(node: ast.expr) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if (isinstance(node, ast.Call) and isinstance(node.func, ast.Name)
+                and node.func.id in ("set", "frozenset")):
+            return True
+        return False
+
+    def check(self, module, tree, index):
+        for node in ast.walk(tree):
+            iters: List[ast.expr] = []
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                iters.append(node.iter)
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                                   ast.GeneratorExp)):
+                iters.extend(gen.iter for gen in node.generators)
+            for it in iters:
+                if self._is_set_expr(it):
+                    yield it, (
+                        "iterating a set: order is nondeterministic and "
+                        "feeds scheduling/digests -- use sorted(...) or a "
+                        "list"
+                    )
+
+
+class RL006MissingSlots(Rule):
+    code = "RL006"
+    title = "Request/Delay/Event subclass without __slots__"
+    explain = """\
+Effect classes (repro.effects.Request subclasses) and the kernel's
+Delay/Event are allocated on the hottest paths in the repository -- one
+or more per simulated request.  PR 1 established the contract
+(docs/performance.md) that every class in these hierarchies declares
+`__slots__`: a single slotless subclass re-introduces a per-instance
+`__dict__`, roughly doubling allocation cost and memory for every
+instance *of that subclass*, and silently weakens the exact-class
+dispatch assumptions in Process._step.
+
+RL006 fires on any class that resolves (transitively, across the linted
+files) to a subclass of Request, Delay, or Event and whose body does not
+assign `__slots__`.  Subclasses that add no attributes still need
+`__slots__ = ()`.
+"""
+
+    def check(self, module, tree, index):
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            cls = module.classes.get(node.name)
+            if cls is None or cls.has_slots:
+                continue
+            if (module.module, node.name) in index.effect_classes:
+                base = "repro.effects.Request"
+            elif (module.module, node.name) in index.kernel_classes:
+                base = "Delay/Event"
+            else:
+                continue
+            yield node, (
+                f"class {node.name!r} subclasses {base} but does not "
+                f"declare __slots__ (hot-path contract, "
+                f"docs/performance.md); add `__slots__ = (...)`"
+            )
+
+
+class RL007MutableDefault(Rule):
+    code = "RL007"
+    title = "mutable default argument"
+    explain = """\
+Default argument values are evaluated once, at function definition time,
+and shared across every call.  A mutable default (`def f(x, acc=[])`)
+therefore accumulates state between calls -- in this codebase that means
+state leaking between transactions, simulations, or test runs, which the
+determinism digest will eventually surface as an unexplained divergence.
+
+RL007 fires when a parameter default is a list/dict/set display or
+comprehension, or a direct call to list/dict/set/bytearray/defaultdict/
+deque/Counter/OrderedDict.
+
+Fix: default to None and create the container inside the function.
+"""
+
+    @classmethod
+    def _is_mutable(cls, node: ast.expr) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                             ast.DictComp, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            func = node.func
+            name = func.id if isinstance(func, ast.Name) else (
+                func.attr if isinstance(func, ast.Attribute) else None
+            )
+            return name in MUTABLE_DEFAULT_CALLS
+        return False
+
+    def check(self, module, tree, index):
+        for node in ast.walk(tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                     ast.Lambda)):
+                continue
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                if self._is_mutable(default):
+                    yield default, (
+                        "mutable default argument is shared across calls; "
+                        "default to None and build the container inside"
+                    )
+
+
+ALL_RULES: List[Rule] = [
+    RL001DroppedEffect(),
+    RL002GeneratorNotDelegated(),
+    RL003WallClock(),
+    RL004GlobalRandom(),
+    RL005SetIteration(),
+    RL006MissingSlots(),
+    RL007MutableDefault(),
+]
+
+RULES_BY_CODE = {rule.code: rule for rule in ALL_RULES}

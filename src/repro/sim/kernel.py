@@ -37,7 +37,7 @@ class Delay:
 
     __slots__ = ("duration",)
 
-    def __init__(self, duration: float):
+    def __init__(self, duration: float) -> None:
         if duration < 0:
             raise ValueError(f"negative delay: {duration}")
         self.duration = duration
@@ -74,7 +74,7 @@ class Event:
 
     __slots__ = ("sim", "triggered", "value", "_waiters")
 
-    def __init__(self, sim: "Simulator"):
+    def __init__(self, sim: "Simulator") -> None:
         self.sim = sim
         self.triggered = False
         self.value: Any = None
@@ -102,7 +102,7 @@ class Process:
 
     __slots__ = ("sim", "generator", "name", "finished", "result", "done_event")
 
-    def __init__(self, sim: "Simulator", generator: ProcessGenerator, name: str):
+    def __init__(self, sim: "Simulator", generator: ProcessGenerator, name: str) -> None:
         self.sim = sim
         self.generator = generator
         self.name = name
@@ -145,7 +145,7 @@ class SimClock:
 
     __slots__ = ("_sim",)
 
-    def __init__(self, sim: "Simulator"):
+    def __init__(self, sim: "Simulator") -> None:
         self._sim = sim
 
     @property

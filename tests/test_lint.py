@@ -1,0 +1,589 @@
+"""Tests for repro-lint: every rule fires on a bad fixture, stays quiet
+on the good variant, and honours inline suppression; plus engine
+behaviour (baseline, skip-file, CLI) and the seeded-mutation check that
+guards the linter itself against regressions."""
+
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.lint import Baseline, SourceModule, lint_source, lint_sources
+from repro.lint.cli import main as lint_main
+from repro.lint.engine import module_name_for
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+TRANSACTION_PY = REPO_ROOT / "src" / "repro" / "core" / "transaction.py"
+
+
+def findings_for(source, module="repro.core.example"):
+    return lint_source(textwrap.dedent(source), module=module)
+
+
+def codes(source, module="repro.core.example"):
+    return [f.rule for f in findings_for(source, module=module)]
+
+
+# ---------------------------------------------------------------------------
+# RL001 -- effect constructed but never yielded
+# ---------------------------------------------------------------------------
+
+
+class TestRL001:
+    def test_bare_statement_fires(self):
+        assert codes("""
+            from repro import effects
+            def commit():
+                effects.PutIfVersion("data", 1, "v", 3)
+                yield effects.ReportCommitted(7)
+        """) == ["RL001"]
+
+    def test_tuple_unpack_of_effect_fires(self):
+        # The exact shape a deleted `yield` leaves behind.
+        assert codes("""
+            from repro import effects
+            def rollback():
+                ok, _ = effects.PutIfVersion("data", 1, "v", 3)
+                yield effects.ReportAborted(7)
+        """) == ["RL001"]
+
+    def test_yield_from_effect_fires(self):
+        assert codes("""
+            from repro.effects import Get
+            def read():
+                value = yield from Get("data", 1)
+                return value
+        """) == ["RL001"]
+
+    def test_effect_factory_dropped_fires(self):
+        assert codes("""
+            from repro.effects import multi_get
+            def read_many(keys):
+                multi_get("data", keys)
+                yield None
+        """) == ["RL001"]
+
+    def test_yielded_and_batched_effects_are_clean(self):
+        assert codes("""
+            from repro import effects
+            def commit(puts):
+                puts.append(effects.PutIfVersion("data", 1, "v", 3))
+                results = yield effects.Batch(puts)
+                ok, _ = yield effects.PutIfVersion("data", 2, "w", 4)
+                return results, ok
+        """) == []
+
+    def test_single_name_binding_is_clean(self):
+        # Building an op to batch later is the idiomatic use.
+        assert codes("""
+            from repro import effects
+            def build():
+                op = effects.Get("data", 1)
+                return op
+        """) == []
+
+    def test_suppressed(self):
+        assert codes("""
+            from repro import effects
+            def probe():
+                effects.Get("data", 1)  # repro-lint: ignore[RL001] repr probe
+        """) == []
+
+
+# ---------------------------------------------------------------------------
+# RL002 -- generator coroutine called without `yield from`
+# ---------------------------------------------------------------------------
+
+
+class TestRL002:
+    def test_plain_statement_call_fires(self):
+        assert codes("""
+            class Txn:
+                def read(self, key):
+                    yield key
+                def commit(self):
+                    self.read(1)
+                    yield 2
+        """) == ["RL002"]
+
+    def test_yield_instead_of_yield_from_fires(self):
+        assert codes("""
+            class Txn:
+                def read(self, key):
+                    yield key
+                def commit(self):
+                    row = yield self.read(1)
+                    return row
+        """) == ["RL002"]
+
+    def test_return_of_generator_from_generator_fires(self):
+        assert codes("""
+            class Txn:
+                def read(self, key):
+                    yield key
+                def commit(self):
+                    yield 1
+                    return self.read(2)
+        """) == ["RL002"]
+
+    def test_module_level_generator_fires(self):
+        assert codes("""
+            def helper():
+                yield 1
+            def driver():
+                helper()
+                yield 2
+        """) == ["RL002"]
+
+    def test_yield_from_and_argument_passing_are_clean(self):
+        assert codes("""
+            def helper():
+                yield 1
+            def spawn(gen):
+                return gen
+            def driver():
+                yield from helper()
+                spawn(helper())
+        """) == []
+
+    def test_return_generator_from_plain_function_is_clean(self):
+        # A non-generator factory returning a coroutine is a legit pattern.
+        assert codes("""
+            class Txn:
+                def read(self, key):
+                    yield key
+                def reader(self):
+                    return self.read(1)
+        """) == []
+
+    def test_unresolvable_receiver_is_not_flagged(self):
+        # Calls through arbitrary receivers stay silent by design.
+        assert codes("""
+            class Txn:
+                def commit(self, log):
+                    log.append(1)
+                    yield 2
+        """) == []
+
+    def test_inherited_generator_method_resolves(self):
+        assert codes("""
+            class Base:
+                def fetch(self):
+                    yield 1
+            class Child(Base):
+                def run(self):
+                    self.fetch()
+                    yield 2
+        """) == ["RL002"]
+
+    def test_suppressed(self):
+        assert codes("""
+            def helper():
+                yield 1
+            def driver():
+                helper()  # repro-lint: ignore[RL002] deliberate no-op
+                yield 2
+        """) == []
+
+
+# ---------------------------------------------------------------------------
+# RL003 -- wall clock in simulated-time code
+# ---------------------------------------------------------------------------
+
+
+class TestRL003:
+    def test_time_call_in_sim_module_fires(self):
+        assert codes("""
+            import time
+            def now():
+                return time.time()
+        """, module="repro.sim.fixture") == ["RL003"]
+
+    def test_from_import_fires(self):
+        assert codes("""
+            from time import perf_counter
+        """, module="repro.store.fixture") == ["RL003"]
+
+    def test_bench_is_exempt(self):
+        assert codes("""
+            import time
+            def now():
+                return time.perf_counter()
+        """, module="repro.bench.fixture") == []
+
+    def test_aliased_module_fires(self):
+        assert codes("""
+            import time as clock
+            def now():
+                return clock.monotonic()
+        """, module="repro.core.fixture") == ["RL003"]
+
+    def test_simulated_clock_is_clean(self):
+        assert codes("""
+            def now(sim):
+                return sim.now
+        """, module="repro.sim.fixture") == []
+
+    def test_suppressed_with_standalone_comment(self):
+        assert codes("""
+            import time
+            def now():
+                # repro-lint: ignore[RL003] calibration runs outside the sim
+                return time.time()
+        """, module="repro.sim.fixture") == []
+
+
+# ---------------------------------------------------------------------------
+# RL004 -- module-level random / unseeded Random()
+# ---------------------------------------------------------------------------
+
+
+class TestRL004:
+    def test_module_level_function_fires(self):
+        assert codes("""
+            import random
+            def pick(items):
+                return random.choice(items)
+        """) == ["RL004"]
+
+    def test_unseeded_random_fires(self):
+        assert codes("""
+            import random
+            def rng():
+                return random.Random()
+        """) == ["RL004"]
+
+    def test_unseeded_imported_random_fires(self):
+        assert codes("""
+            from random import Random
+            def rng():
+                return Random()
+        """) == ["RL004"]
+
+    def test_seeded_random_is_clean(self):
+        assert codes("""
+            import random
+            def rng(seed):
+                return random.Random(seed)
+        """) == []
+
+    def test_attribute_named_random_is_clean(self):
+        # `self.random` is an instance attribute, not the module.
+        assert codes("""
+            class W:
+                def pick(self):
+                    return self.random.uniform(1, 10)
+        """) == []
+
+
+# ---------------------------------------------------------------------------
+# RL005 -- set iteration
+# ---------------------------------------------------------------------------
+
+
+class TestRL005:
+    def test_for_over_set_literal_fires(self):
+        assert codes("""
+            def f():
+                for space in {"a", "b"}:
+                    print(space)
+        """) == ["RL005"]
+
+    def test_comprehension_over_set_call_fires(self):
+        assert codes("""
+            def f(keys):
+                return [k for k in set(keys)]
+        """) == ["RL005"]
+
+    def test_sorted_set_is_clean(self):
+        assert codes("""
+            def f(keys):
+                for k in sorted(set(keys)):
+                    print(k)
+        """) == []
+
+    def test_membership_test_is_clean(self):
+        assert codes("""
+            def f(k, seen):
+                return k in {"a", "b"} or k in seen
+        """) == []
+
+
+# ---------------------------------------------------------------------------
+# RL006 -- Request/Delay/Event subclass without __slots__
+# ---------------------------------------------------------------------------
+
+
+class TestRL006:
+    def test_effect_subclass_without_slots_fires(self):
+        assert codes("""
+            from repro.effects import StoreRequest
+            class Touch(StoreRequest):
+                def __init__(self, space, key):
+                    super().__init__(space, key)
+        """) == ["RL006"]
+
+    def test_transitive_subclass_fires(self):
+        assert codes("""
+            from repro.effects import Request
+            class Mid(Request):
+                __slots__ = ()
+            class Leaf(Mid):
+                pass
+        """) == ["RL006"]
+
+    def test_kernel_delay_subclass_fires(self):
+        assert codes("""
+            from repro.sim.kernel import Delay
+            class JitteredDelay(Delay):
+                pass
+        """, module="repro.sim.fixture") == ["RL006"]
+
+    def test_subclass_with_slots_is_clean(self):
+        assert codes("""
+            from repro.effects import StoreRequest
+            class Touch(StoreRequest):
+                __slots__ = ("extra",)
+        """) == []
+
+    def test_unrelated_class_is_clean(self):
+        assert codes("""
+            class Plain:
+                pass
+        """) == []
+
+    def test_cross_module_subclass_resolves(self):
+        # A subclass in one module of an effect defined in another.
+        base = SourceModule(
+            "base.py", "repro.core.basefx",
+            textwrap.dedent("""
+                from repro.effects import Request
+                class CustomFx(Request):
+                    __slots__ = ()
+            """),
+        )
+        findings = lint_source(
+            textwrap.dedent("""
+                from repro.core.basefx import CustomFx
+                class Slotless(CustomFx):
+                    pass
+            """),
+            module="repro.core.userfx",
+            extra_sources=[base],
+        )
+        assert [f.rule for f in findings] == ["RL006"]
+
+
+# ---------------------------------------------------------------------------
+# RL007 -- mutable default arguments
+# ---------------------------------------------------------------------------
+
+
+class TestRL007:
+    def test_list_default_fires(self):
+        assert codes("""
+            def f(x, acc=[]):
+                acc.append(x)
+        """) == ["RL007"]
+
+    def test_dict_call_default_fires(self):
+        assert codes("""
+            def f(x, table=dict()):
+                table[x] = 1
+        """) == ["RL007"]
+
+    def test_kwonly_default_fires(self):
+        assert codes("""
+            def f(x, *, acc={}):
+                acc[x] = 1
+        """) == ["RL007"]
+
+    def test_none_default_is_clean(self):
+        assert codes("""
+            def f(x, acc=None):
+                acc = acc or []
+                acc.append(x)
+        """) == []
+
+
+# ---------------------------------------------------------------------------
+# Engine behaviour
+# ---------------------------------------------------------------------------
+
+
+class TestEngine:
+    def test_skip_file(self):
+        assert codes("""
+            # repro-lint: skip-file  (generated)
+            def f(x, acc=[]):
+                acc.append(x)
+        """) == []
+
+    def test_syntax_error_reported_as_rl000(self):
+        assert codes("def f(:\n") == ["RL000"]
+
+    def test_multi_rule_suppression(self):
+        assert codes("""
+            import time
+            def f(acc=[]):  # repro-lint: ignore[RL007, RL003]
+                return time.time()  # repro-lint: ignore[RL003] fixture
+        """, module="repro.core.fixture") == []
+
+    def test_suppression_requires_matching_code(self):
+        assert codes("""
+            def f(x, acc=[]):  # repro-lint: ignore[RL001] wrong code
+                acc.append(x)
+        """) == ["RL007"]
+
+    def test_module_name_for(self):
+        assert module_name_for("src/repro/core/transaction.py") == \
+            "repro.core.transaction"
+        assert module_name_for("src/repro/sim/__init__.py") == "repro.sim"
+
+    def test_baseline_filters_and_counts(self):
+        source = SourceModule(
+            "fx.py", "repro.core.fixture",
+            "def f(x, acc=[]):\n    acc.append(x)\n",
+        )
+        raw = lint_sources([source])
+        assert [f.rule for f in raw.findings] == ["RL007"]
+        baseline = Baseline.from_findings(raw.findings)
+        filtered = lint_sources([source], baseline=baseline)
+        assert filtered.findings == []
+        assert filtered.baselined == 1
+
+    def test_baseline_roundtrip_is_line_number_independent(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        source = SourceModule(
+            "fx.py", "repro.core.fixture",
+            "def f(x, acc=[]):\n    acc.append(x)\n",
+        )
+        raw = lint_sources([source])
+        Baseline.from_findings(raw.findings).save(str(path))
+        moved = SourceModule(
+            "fx.py", "repro.core.fixture",
+            "import os\n\n\ndef f(x, acc=[]):\n    acc.append(x)\n",
+        )
+        result = lint_sources([moved], baseline=Baseline.load(str(path)))
+        assert result.findings == []
+        assert result.baselined == 1
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+
+class TestCli:
+    def _write_fixture(self, tmp_path):
+        pkg = tmp_path / "repro" / "core"
+        pkg.mkdir(parents=True)
+        bad = pkg / "bad.py"
+        bad.write_text("def f(x, acc=[]):\n    acc.append(x)\n")
+        return bad
+
+    def test_findings_exit_1_and_human_output(self, tmp_path, capsys,
+                                              monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        bad = self._write_fixture(tmp_path)
+        assert lint_main([str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "RL007" in out and "bad.py" in out
+
+    def test_clean_exit_0(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        good = tmp_path / "good.py"
+        good.write_text("def f(x):\n    return x\n")
+        assert lint_main([str(good)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_json_output(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        bad = self._write_fixture(tmp_path)
+        assert lint_main(["--json", str(bad)]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["findings"][0]["rule"] == "RL007"
+        assert payload["files_checked"] == 1
+
+    def test_write_baseline_then_clean(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        bad = self._write_fixture(tmp_path)
+        assert lint_main(["--write-baseline", str(bad)]) == 0
+        assert (tmp_path / ".repro-lint-baseline.json").exists()
+        assert lint_main([str(bad)]) == 0
+        out = capsys.readouterr().out
+        assert "1 baselined" in out
+
+    def test_explain_known_rule(self, capsys):
+        assert lint_main(["--explain", "RL001"]) == 0
+        out = capsys.readouterr().out
+        assert "RL001" in out and "yield" in out
+
+    def test_explain_every_rule_has_docs(self, capsys):
+        from repro.lint import RULES_BY_CODE
+        for code in RULES_BY_CODE:
+            assert lint_main(["--explain", code]) == 0
+            out = capsys.readouterr().out
+            assert code in out
+            assert len(out.splitlines()) > 3  # title + real prose
+
+    def test_explain_unknown_rule_exit_2(self, capsys):
+        assert lint_main(["--explain", "RL999"]) == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_missing_path_exit_2(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        assert lint_main(["does-not-exist"]) == 2
+
+    def test_list_rules(self, capsys):
+        assert lint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in ("RL001", "RL007"):
+            assert code in out
+
+
+# ---------------------------------------------------------------------------
+# The shipped tree and the seeded-mutation guard
+# ---------------------------------------------------------------------------
+
+
+class TestShippedTree:
+    def test_repro_lint_src_exits_0(self, capsys, monkeypatch):
+        monkeypatch.chdir(REPO_ROOT)
+        assert lint_main(["src"]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_deleting_yield_before_putifversion_trips_rl001(self):
+        real = TRANSACTION_PY.read_text()
+        mutated = real.replace(
+            "ok, _ = yield effects.PutIfVersion(",
+            "ok, _ = effects.PutIfVersion(",
+        )
+        assert mutated != real, "mutation site vanished; update the test"
+        found = lint_source(mutated, module="repro.core.transaction")
+        assert "RL001" in [f.rule for f in found]
+
+    def test_deleting_yield_before_report_committed_trips_rl001(self):
+        real = TRANSACTION_PY.read_text()
+        mutated = real.replace(
+            "yield effects.ReportCommitted(self.tid)",
+            "effects.ReportCommitted(self.tid)",
+        )
+        assert mutated != real
+        found = lint_source(mutated, module="repro.core.transaction")
+        assert [f.rule for f in found].count("RL001") >= 1
+
+    def test_deleting_yield_from_trips_rl002(self):
+        real = TRANSACTION_PY.read_text()
+        mutated = real.replace(
+            "yield from self._fetch(to_fetch)", "self._fetch(to_fetch)"
+        )
+        assert mutated != real
+        found = lint_source(mutated, module="repro.core.transaction")
+        assert "RL002" in [f.rule for f in found]
+
+    def test_unmutated_transaction_is_clean(self):
+        assert lint_source(
+            TRANSACTION_PY.read_text(), module="repro.core.transaction"
+        ) == []
