@@ -4,18 +4,24 @@ The :class:`Router` resolves every effect immediately against in-process
 components; :class:`DirectRunner` drives a coroutine to completion with
 it.  This gives the embedded API and the unit tests the exact same code
 paths the simulation exercises, minus the timing.
+
+Routing itself lives in :mod:`repro.dispatch`: ``Router`` is the direct
+:class:`~repro.dispatch.direct.Dispatcher` bound to this API's component
+types, optionally wrapped in an interceptor chain (tracing, fault
+injection, retry policy -- see ``docs/dispatch.md``).
 """
 
 from __future__ import annotations
 
-from typing import Any, Optional
+from typing import Any, Optional, Sequence
 
 from repro import effects
 from repro.core.commit_manager import CommitManager
+from repro.dispatch import Dispatcher, Interceptor
 from repro.store.cluster import StorageCluster
 
 
-class Router:
+class Router(Dispatcher):
     """Binds one processing node's effects to its targets."""
 
     def __init__(
@@ -23,30 +29,9 @@ class Router:
         cluster: StorageCluster,
         commit_manager: Optional[CommitManager] = None,
         pn_id: int = -1,
+        interceptors: Sequence[Interceptor] = (),
     ):
-        self.cluster = cluster
-        self.commit_manager = commit_manager
-        self.pn_id = pn_id
-
-    def execute(self, request: effects.Request) -> Any:
-        if isinstance(request, (effects.StoreRequest, effects.Batch)):
-            return self.cluster.execute(request)
-        if isinstance(request, effects.StartTransaction):
-            return self._commit_manager().start(self.pn_id)
-        if isinstance(request, effects.ReportCommitted):
-            self._commit_manager().set_committed(request.tid)
-            return None
-        if isinstance(request, effects.ReportAborted):
-            self._commit_manager().set_aborted(request.tid)
-            return None
-        if isinstance(request, (effects.Compute, effects.Sleep)):
-            return None  # time is not modelled in direct mode
-        raise TypeError(f"unroutable request: {request!r}")
-
-    def _commit_manager(self) -> CommitManager:
-        if self.commit_manager is None:
-            raise RuntimeError("no commit manager attached to this router")
-        return self.commit_manager
+        super().__init__(cluster, commit_manager, pn_id, interceptors)
 
 
 class DirectRunner:

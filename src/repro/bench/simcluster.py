@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import heapq
 import random
-from typing import Any, Dict, Generator, List, Optional, Tuple
+from typing import Any, Dict, Generator, List, Optional, Sequence, Tuple
 
 from repro import effects
 from repro.bench.config import TellConfig
@@ -29,11 +29,28 @@ from repro.bench.metrics import TxnMetrics
 from repro.core.buffers import make_strategy
 from repro.core.commit_manager import CommitManager
 from repro.core.processing_node import ProcessingNode
+from repro.dispatch import (
+    KIND_BATCH,
+    KIND_CM_COMMITTED,
+    KIND_CM_START,
+    KIND_COMPUTE,
+    KIND_SCAN,
+    KIND_SLEEP,
+    KIND_STORE,
+    DispatchContext,
+    DispatchEnv,
+    Dispatcher,
+    Interceptor,
+    attach_all,
+    compose,
+    kind_of,
+)
 from repro.errors import TellError, TransactionAborted
 from repro.net.profiles import NetworkProfile, profile_by_name
 from repro.sim.kernel import Delay, Simulator, delay_of
 from repro.sql.table import IndexManager
 from repro.store.cluster import StorageCluster
+from repro.store.management import ManagementNode
 from repro.workloads.loader import BulkLoader
 from repro.workloads.tpcc.mixes import MIXES
 from repro.workloads.tpcc.params import ParamGenerator
@@ -56,19 +73,9 @@ SN_SERVICE_CM_US = 0.6
 REPL_WRITE_AMP = 2.0
 REPL_FIXED_US = 5.0
 
-#: Exact request classes served by the single-key storage path; used for
-#: one-lookup dispatch in the fabric's hot loop (subclasses still take
-#: the isinstance route).
-_SINGLE_OP_CLASSES = frozenset(
-    (
-        effects.Get,
-        effects.Put,
-        effects.PutIfVersion,
-        effects.Delete,
-        effects.DeleteIfVersion,
-        effects.Increment,
-    )
-)
+#: Exact request classes that must reach the backup replicas; used for
+#: one-lookup membership tests in the fabric's hot loop (subclasses still
+#: take the isinstance route).
 _REPLICATED_OP_CLASSES = frozenset(
     (
         effects.Put,
@@ -155,23 +162,25 @@ class SimFabric:
                 request: effects.Request, pn_id: int = -1) -> Generator:
         """Sub-generator (yields Delay/Event) resolving one request.
 
-        Dispatches on the exact request class first -- single-key storage
-        ops and Compute dominate the request stream -- before falling back
-        to the isinstance ladder for subclassed requests.
+        Routing is the shared :func:`repro.dispatch.kind_of`
+        classification (one dict lookup for the exact effect classes);
+        this fabric owns only the *timing* model for each kind.  Checks
+        are ordered by request frequency: single-key storage ops and
+        Compute dominate the stream.
         """
-        cls = request.__class__
-        if cls in _SINGLE_OP_CLASSES:
+        kind = kind_of(request)
+        if kind == KIND_STORE:
             return (yield from self._perform_single(pn_pool, request))
-        if cls is effects.Compute or isinstance(request, effects.Compute):
+        if kind == KIND_COMPUTE:
             now = self.sim.now
             _start, end = pn_pool.reserve(now, request.duration)
             if end > now:
                 yield Delay(end - now)
             return None
-        if cls is effects.Sleep or isinstance(request, effects.Sleep):
+        if kind == KIND_SLEEP:
             yield delay_of(request.duration)
             return None
-        if cls is effects.Batch or isinstance(request, effects.Batch):
+        if kind == KIND_BATCH:
             if self.config.batching:
                 return (yield from self._perform_batch(pn_pool, request.ops))
             results = []
@@ -179,13 +188,11 @@ class SimFabric:
                 single = yield from self._perform_single(pn_pool, op)
                 results.append(single)
             return results
-        if isinstance(request, effects.Scan):
+        if kind == KIND_SCAN:
             return (yield from self._perform_scan(pn_pool, request))
-        if isinstance(request, effects.StoreRequest):
-            return (yield from self._perform_single(pn_pool, request))
-        if isinstance(request, effects.CommitManagerRequest):
-            return (yield from self._perform_cm(pn_pool, cm_index, request, pn_id))
-        raise TypeError(f"fabric cannot perform {request!r}")
+        # Remaining kinds are the commit-manager round trips.
+        return (yield from self._perform_cm(pn_pool, cm_index, request, pn_id,
+                                            kind))
 
     # -- storage messages ------------------------------------------------------------
 
@@ -410,6 +417,7 @@ class SimFabric:
     def _perform_cm(
         self, pn_pool: CorePool, cm_index: int,
         request: effects.CommitManagerRequest, pn_id: int = -1,
+        kind: int = -1,
     ) -> Generator:
         """One round trip to the processing node's commit manager.
 
@@ -423,23 +431,16 @@ class SimFabric:
         pool = self.cm_pools[cm_index]
         now = self.sim.now
         self.stats.messages += 1
-        cls = request.__class__
-        if cls is effects.StartTransaction or isinstance(
-            request, effects.StartTransaction
-        ):
+        if kind < 0:
+            kind = kind_of(request)
+        if kind == KIND_CM_START:
             result: Any = manager.start(pn_id)
-        elif cls is effects.ReportCommitted or isinstance(
-            request, effects.ReportCommitted
-        ):
+        elif kind == KIND_CM_COMMITTED:
             manager.set_committed(request.tid)
             result = None
-        elif cls is effects.ReportAborted or isinstance(
-            request, effects.ReportAborted
-        ):
+        else:
             manager.set_aborted(request.tid)
             result = None
-        else:
-            raise TypeError(f"unknown CM request {request!r}")
         cm_wire = self._cm_wire_us
         _s, t_end = pool.reserve(now + cm_wire, self._cm_service_us)
         t_response = t_end + cm_wire
@@ -450,9 +451,17 @@ class SimFabric:
 
 
 class SimulatedTell:
-    """A complete simulated deployment running TPC-C."""
+    """A complete simulated deployment running TPC-C.
 
-    def __init__(self, config: TellConfig):
+    ``interceptors`` is an ordered chain of
+    :class:`repro.dispatch.Interceptor` middleware wrapped around every
+    workload request (tracing, fault injection, retry policy -- see
+    ``docs/dispatch.md``).  The default empty chain adds no work to the
+    hot loop.
+    """
+
+    def __init__(self, config: TellConfig,
+                 interceptors: Sequence[Interceptor] = ()):
         self.config = config
         self.sim = Simulator()
         self.cluster = StorageCluster(
@@ -471,10 +480,23 @@ class SimulatedTell:
         self.fabric = SimFabric(
             self.sim, self.cluster, self.commit_managers, config
         )
+        self.management = ManagementNode(self.cluster)
         self.catalog = build_tpcc_catalog()
         self.metrics = TxnMetrics()
+        self.interceptors = list(interceptors)
         self._pn_handles: List[Tuple[ProcessingNode, CorePool, int, IndexManager]] = []
         self._populated = False
+        if self.interceptors:
+            attach_all(
+                self.interceptors,
+                DispatchEnv(
+                    cluster=self.cluster,
+                    commit_managers=self.commit_managers,
+                    sim=self.sim,
+                    metrics=self.metrics,
+                    management=self.management,
+                ),
+            )
 
     # -- setup (direct, untimed) --------------------------------------------------------
 
@@ -485,7 +507,7 @@ class SimulatedTell:
         counts = effects.run_direct(
             populate(self.catalog, loader, self.config.scale,
                      seed=self.config.seed),
-            _ClusterOnlyRouter(self.cluster),
+            Dispatcher(self.cluster),
         )
         self._populated = True
         return counts
@@ -549,11 +571,19 @@ class SimulatedTell:
             txn_name = mix.pick(rng)
             params = param_fns[txn_name]()
             started = self.sim.now
-            outcome = yield from self._drive(
-                pool, cm_index,
-                self._transaction_script(pn, indexes, txn_name, params),
-                pn_id=pn.pn_id,
-            )
+            try:
+                outcome = yield from self._drive(
+                    pool, cm_index,
+                    self._transaction_script(pn, indexes, txn_name, params),
+                    pn_id=pn.pn_id,
+                )
+            except TellError:
+                # An infrastructure failure (e.g. a storage node dying
+                # under an in-flight request) escaped the transaction's
+                # own abort path.  The terminal abandons the transaction
+                # exactly like a crashed PN -- recovery reconciles the
+                # leftover state -- and keeps serving.
+                outcome = "conflict"
             if started >= warmup_end:
                 self.metrics.record(txn_name, outcome, self.sim.now - started)
 
@@ -591,7 +621,13 @@ class SimulatedTell:
 
     def _drive(self, pool: CorePool, cm_index: int, gen,
                pn_id: int = -1) -> Generator:  # noqa: ANN001
-        """Run a protocol coroutine under the fabric (a sim process body)."""
+        """Run a protocol coroutine under the fabric (a sim process body).
+
+        With interceptors configured, every request flows through the
+        composed :mod:`repro.dispatch` chain terminating in
+        :meth:`SimFabric.perform`; the empty chain keeps the bare fast
+        path (including the inline Compute shortcut) untouched.
+        """
         send_value: Any = None
         throw_exc: Optional[BaseException] = None
         fabric = self.fabric
@@ -599,6 +635,16 @@ class SimulatedTell:
         sim = fabric.sim
         reserve = pool.reserve
         compute_cls = effects.Compute
+        chain = None
+        if self.interceptors:
+            ctx = DispatchContext(
+                pn_id=pn_id, clock=sim.clock(), engine="sim"
+            )
+
+            def tail(request: effects.Request) -> Generator:
+                return perform(pool, cm_index, request, pn_id)
+
+            chain = compose(self.interceptors, tail, ctx)
         while True:
             try:
                 if throw_exc is not None:
@@ -608,6 +654,13 @@ class SimulatedTell:
                     request = gen.send(send_value)
             except StopIteration as stop:
                 return stop.value
+            if chain is not None:
+                try:
+                    send_value = yield from chain(request)
+                except TellError as exc:
+                    send_value = None
+                    throw_exc = exc
+                continue
             # Compute is the most frequent request (charged per row) and
             # cannot fail; handling it here skips a sub-generator per call.
             if request.__class__ is compute_cls:
@@ -636,7 +689,7 @@ class SimulatedTell:
         from repro.core.recovery import recover_processing_node
         from repro.core.txlog import TransactionLog
 
-        router = _ClusterOnlyRouter(self.cluster)
+        router = Dispatcher(self.cluster)
         rolled_back = 0
         pn_ids = {pn.pn_id for pn, _pool, _cm, _idx in self._pn_handles}
         for pn_id in sorted(pn_ids):
@@ -664,22 +717,10 @@ class SimulatedTell:
             manager.sync(peer_ids)
 
 
-class _ClusterOnlyRouter:
-    """Direct router for setup-time loading (no commit manager needed)."""
-
-    def __init__(self, cluster: StorageCluster):
-        self.cluster = cluster
-
-    def execute(self, request: effects.Request) -> Any:
-        if isinstance(request, (effects.StoreRequest, effects.Batch)):
-            return self.cluster.execute(request)
-        if isinstance(request, (effects.Compute, effects.Sleep)):
-            return None
-        raise TypeError(f"unroutable setup request: {request!r}")
-
-
-def run_tell_experiment(config: TellConfig) -> TxnMetrics:
+def run_tell_experiment(
+    config: TellConfig, interceptors: Sequence[Interceptor] = ()
+) -> TxnMetrics:
     """Convenience: build, load, run, return metrics."""
-    deployment = SimulatedTell(config)
+    deployment = SimulatedTell(config, interceptors=interceptors)
     deployment.load()
     return deployment.run()

@@ -14,7 +14,8 @@ from typing import Dict, Generator
 from repro import effects
 from repro.bench.config import TellConfig
 from repro.bench.metrics import TxnMetrics
-from repro.bench.simcluster import SimulatedTell, _ClusterOnlyRouter
+from repro.bench.simcluster import SimulatedTell
+from repro.dispatch import Dispatcher
 from repro.errors import TellError, TransactionAborted
 from repro.sql.table import IndexManager
 from repro.workloads.loader import BulkLoader
@@ -50,7 +51,7 @@ class SimulatedYcsb(SimulatedTell):
         count = effects.run_direct(
             populate_ycsb(self.catalog, loader, self.record_count,
                           seed=self.config.seed),
-            _ClusterOnlyRouter(self.cluster),
+            Dispatcher(self.cluster),
         )
         self._populated = True
         return {"usertable": count}

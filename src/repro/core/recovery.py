@@ -66,9 +66,12 @@ def recover_processing_node(
         active_tids.extend(manager.active_tids_of(pn_id))
     rolled_back = yield from _rollback_tids(active_tids, pn_id, txlog)
     # Completing the tids lets the global base version advance again.
+    # Recovery addresses *every* commit manager on the dead node's
+    # behalf, not the caller's own CM binding, so it cannot go through
+    # the dispatcher's single-CM effect.
     for manager in commit_managers:
         for tid in active_tids:
-            manager.set_aborted(tid)
+            manager.set_aborted(tid)  # repro-lint: ignore[RL008]
     return rolled_back
 
 

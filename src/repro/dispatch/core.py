@@ -1,0 +1,230 @@
+"""The canonical effect-dispatch core.
+
+Every Tell protocol coroutine communicates with its driver by yielding
+:class:`repro.effects.Request` objects.  Historically each driver grew its
+own ``isinstance`` ladder to interpret them (the direct Router, the
+simulation fabric, the setup-time loader router); this module replaces all
+of them with one shared classification step plus one composition rule for
+cross-cutting concerns:
+
+* :func:`kind_of` maps a request to a small integer *kind* (single-key
+  store op, batch, scan, commit-manager call, local compute/sleep) with a
+  one-lookup fast path for the exact effect classes and a caching
+  ``isinstance`` fallback for subclasses.  This is the only request
+  classification ladder in the repository.
+* :class:`Interceptor` is the uniform middleware protocol:
+  ``intercept(request, ctx, next)`` written as a generator coroutine that
+  delegates with ``result = yield from next(request)``.  The same
+  interceptor runs unchanged under the direct runner (yields are resolved
+  immediately) and the simulator (yields are Delays/Events charged in
+  simulated time).
+* :func:`compose` folds an ordered interceptor chain around a terminal
+  handler.  An empty chain composes to the handler itself, so the default
+  pipeline costs nothing -- the hot paths PR 1 optimized are untouched.
+
+Drivers bind the kinds to their own handlers: the direct
+:class:`repro.dispatch.direct.Dispatcher` resolves requests immediately,
+while :class:`repro.bench.simcluster.SimFabric` keeps only the timing
+model and lets this module own routing.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Generator, List, Optional, Sequence
+
+from repro import effects
+
+#: Request kinds.  ``KIND_STORE``..``KIND_SCAN`` are storage-cluster
+#: requests; the CM kinds address the processing node's commit manager;
+#: COMPUTE/SLEEP are local effects charged only under simulation.
+KIND_STORE = 0
+KIND_BATCH = 1
+KIND_SCAN = 2
+KIND_CM_START = 3
+KIND_CM_COMMITTED = 4
+KIND_CM_ABORTED = 5
+KIND_COMPUTE = 6
+KIND_SLEEP = 7
+
+#: Exact-class kind table: one dict lookup covers every effect the
+#: protocol actually yields.  Subclasses are classified once by
+#: :func:`_classify_slow` and then cached here, so even exotic requests
+#: pay the isinstance ladder a single time per class.
+_KIND_BY_CLASS: Dict[type, int] = {
+    effects.Get: KIND_STORE,
+    effects.Put: KIND_STORE,
+    effects.PutIfVersion: KIND_STORE,
+    effects.Delete: KIND_STORE,
+    effects.DeleteIfVersion: KIND_STORE,
+    effects.Increment: KIND_STORE,
+    effects.Scan: KIND_SCAN,
+    effects.Batch: KIND_BATCH,
+    effects.StartTransaction: KIND_CM_START,
+    effects.ReportCommitted: KIND_CM_COMMITTED,
+    effects.ReportAborted: KIND_CM_ABORTED,
+    effects.Compute: KIND_COMPUTE,
+    effects.Sleep: KIND_SLEEP,
+}
+
+
+def _classify_slow(request: effects.Request) -> int:
+    """The one isinstance ladder: classify a subclassed request and cache
+    the verdict so the next instance takes the exact-class fast path."""
+    if isinstance(request, effects.Scan):
+        kind = KIND_SCAN
+    elif isinstance(request, effects.StoreRequest):
+        kind = KIND_STORE
+    elif isinstance(request, effects.Batch):
+        kind = KIND_BATCH
+    elif isinstance(request, effects.StartTransaction):
+        kind = KIND_CM_START
+    elif isinstance(request, effects.ReportCommitted):
+        kind = KIND_CM_COMMITTED
+    elif isinstance(request, effects.ReportAborted):
+        kind = KIND_CM_ABORTED
+    elif isinstance(request, effects.Compute):
+        kind = KIND_COMPUTE
+    elif isinstance(request, effects.Sleep):
+        kind = KIND_SLEEP
+    else:
+        raise TypeError(f"unroutable request: {request!r}")
+    _KIND_BY_CLASS[request.__class__] = kind
+    return kind
+
+
+def kind_of(request: effects.Request) -> int:
+    """Classify ``request`` into one of the ``KIND_*`` constants.
+
+    Raises ``TypeError`` for objects that are not dispatchable requests
+    (including unknown :class:`~repro.effects.CommitManagerRequest`
+    subclasses, which no driver knows how to serve).
+    """
+    kind = _KIND_BY_CLASS.get(request.__class__)
+    if kind is None:
+        return _classify_slow(request)
+    return kind
+
+
+class _ZeroClock:
+    """Direct-mode stand-in for the simulator clock: time is not
+    modelled, so every read returns 0."""
+
+    __slots__ = ()
+
+    @property
+    def now(self) -> float:
+        return 0.0
+
+
+ZERO_CLOCK = _ZeroClock()
+
+
+class DispatchContext:
+    """Per-pipeline state visible to every interceptor.
+
+    ``clock`` exposes ``.now`` in simulated microseconds (always 0 under
+    the direct runner); ``engine`` names the driver ("direct", "sim", or
+    a baseline engine name) so interceptors can adapt their behaviour.
+    """
+
+    __slots__ = ("pn_id", "clock", "engine")
+
+    def __init__(self, pn_id: int = -1, clock: Any = ZERO_CLOCK,
+                 engine: str = "direct") -> None:
+        self.pn_id = pn_id
+        self.clock = clock
+        self.engine = engine
+
+    def __repr__(self) -> str:
+        return f"DispatchContext(pn_id={self.pn_id}, engine={self.engine!r})"
+
+
+class DispatchEnv:
+    """Deployment-level bindings handed to :meth:`Interceptor.on_attach`.
+
+    Fields are ``None`` when the owning driver does not have the
+    component (e.g. ``sim`` under the direct runner).
+    """
+
+    __slots__ = ("cluster", "commit_managers", "sim", "metrics", "management")
+
+    def __init__(self, cluster: Any = None,
+                 commit_managers: Optional[Sequence[Any]] = None,
+                 sim: Any = None, metrics: Any = None,
+                 management: Any = None) -> None:
+        self.cluster = cluster
+        self.commit_managers = list(commit_managers or ())
+        self.sim = sim
+        self.metrics = metrics
+        self.management = management
+
+
+#: A pipeline stage: called with the request, returns the generator that
+#: resolves it (yielding Delays/Events to the driver as needed).
+NextFn = Callable[[Any], Generator[Any, Any, Any]]
+
+
+class Interceptor:
+    """Base class for dispatch middleware.
+
+    Subclasses override :meth:`intercept` as a *generator coroutine* and
+    delegate to the rest of the pipeline with
+    ``result = yield from next(request)``.  They may re-invoke ``next``
+    (retries), raise (fault injection), yield extra Delays (latency), or
+    record metadata (tracing).  Under the direct runner every yielded
+    value resolves immediately to ``None``; under the simulator yields
+    are charged in simulated time.
+    """
+
+    def on_attach(self, env: DispatchEnv) -> None:
+        """Called once when the owning driver wires the pipeline."""
+
+    def intercept(self, request: Any, ctx: DispatchContext,
+                  next: NextFn) -> Generator[Any, Any, Any]:
+        return (yield from next(request))
+
+
+def compose(interceptors: Sequence[Interceptor], tail: NextFn,
+            ctx: DispatchContext) -> NextFn:
+    """Fold ``interceptors`` (outermost first) around ``tail``.
+
+    Returns a callable with the same shape as ``tail``; an empty chain
+    returns ``tail`` itself, which is what lets the zero-interceptor
+    pipeline compile down to the drivers' existing exact-class fast
+    paths.
+    """
+    next_fn = tail
+    for interceptor in reversed(list(interceptors)):
+        next_fn = _bind(interceptor, ctx, next_fn)
+    return next_fn
+
+
+def _bind(interceptor: Interceptor, ctx: DispatchContext,
+          next_fn: NextFn) -> NextFn:
+    intercept = interceptor.intercept
+
+    def layer(request: Any) -> Generator[Any, Any, Any]:
+        return intercept(request, ctx, next_fn)
+
+    return layer
+
+
+def drive_sync(generator: Generator[Any, Any, Any]) -> Any:
+    """Drive an interceptor-chain generator in direct (untimed) mode.
+
+    Yielded Delays/Events model simulated time, which direct mode does
+    not track, so every yield resolves immediately to ``None`` -- e.g.
+    retry backoffs and injected latency become no-ops, exactly like
+    ``Compute``/``Sleep`` under the direct Router.
+    """
+    try:
+        while True:
+            generator.send(None)
+    except StopIteration as stop:
+        return stop.value
+
+
+def attach_all(interceptors: Sequence[Interceptor], env: DispatchEnv) -> None:
+    """Run every interceptor's :meth:`~Interceptor.on_attach` hook."""
+    for interceptor in interceptors:
+        interceptor.on_attach(env)

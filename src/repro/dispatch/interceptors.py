@@ -1,0 +1,429 @@
+"""Production interceptors: tracing, fault injection, retry policy.
+
+All three implement the uniform :class:`repro.dispatch.core.Interceptor`
+protocol and therefore run unchanged under the direct runner, the
+simulated deployment, and the baseline engines.  Order matters: the chain
+runs outermost-first, so the conventional stack is
+
+    [TraceInterceptor, RetryPolicy, FaultInjector]
+
+-- the trace sees one logical request per protocol yield, the retry
+policy re-drives the faulty tail, and faults are injected closest to the
+(real or simulated) hardware.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from typing import Any, Callable, Dict, Generator, List, Optional, Sequence, Tuple, Type
+
+from repro.dispatch.core import (
+    DispatchContext,
+    DispatchEnv,
+    Interceptor,
+    NextFn,
+)
+from repro.errors import NodeUnavailable
+
+TRACE_SCHEMA = "repro-dispatch-trace/1"
+
+
+# ---------------------------------------------------------------------------
+# trace / metrics
+# ---------------------------------------------------------------------------
+
+
+def _approx_request_bytes(request: Any) -> int:
+    """Wire-size estimate mirroring StorageCluster.request_size, without
+    needing the cluster: 24 bytes of header plus key/value payload."""
+    from repro.store.cell import approx_size
+
+    ops = getattr(request, "ops", None)
+    if ops is not None:  # a Batch
+        return sum(_approx_request_bytes(op) for op in ops)
+    key = getattr(request, "key", None)
+    if key is None:
+        return 24
+    size = 24 + approx_size(key)
+    value = getattr(request, "value", None)
+    if value is not None:
+        size += approx_size(value)
+    return size
+
+
+class _ClassStats:
+    """Aggregates for one request class."""
+
+    __slots__ = ("count", "ops", "errors", "bytes", "total_latency_us",
+                 "max_latency_us", "histogram")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.ops = 0
+        self.errors = 0
+        self.bytes = 0
+        self.total_latency_us = 0.0
+        self.max_latency_us = 0.0
+        #: log2 latency histogram: bucket i counts requests with
+        #: 2^(i-1) < latency_us <= 2^i (bucket 0: <= 1us).
+        self.histogram: Dict[int, int] = {}
+
+    def record(self, ops: int, size: int, latency_us: float) -> None:
+        self.count += 1
+        self.ops += ops
+        self.bytes += size
+        self.total_latency_us += latency_us
+        if latency_us > self.max_latency_us:
+            self.max_latency_us = latency_us
+        bucket = 0
+        scaled = latency_us
+        while scaled > 1.0:
+            scaled /= 2.0
+            bucket += 1
+        self.histogram[bucket] = self.histogram.get(bucket, 0) + 1
+
+    def to_dict(self) -> Dict[str, Any]:
+        mean = self.total_latency_us / self.count if self.count else 0.0
+        return {
+            "count": self.count,
+            "ops": self.ops,
+            "errors": self.errors,
+            "bytes": self.bytes,
+            "mean_latency_us": mean,
+            "max_latency_us": self.max_latency_us,
+            "latency_histogram_log2_us": {
+                str(b): n for b, n in sorted(self.histogram.items())
+            },
+        }
+
+
+class RequestTrace:
+    """Per-request-class counters collected by :class:`TraceInterceptor`.
+
+    ``to_dict()`` / ``dump_json()`` produce the trace format documented in
+    ``docs/dispatch.md`` (schema ``repro-dispatch-trace/1``).
+    """
+
+    def __init__(self) -> None:
+        self.per_class: Dict[str, _ClassStats] = {}
+        self.round_trips = 0
+        self.errors_by_type: Dict[str, int] = {}
+
+    def stats_for(self, class_name: str) -> _ClassStats:
+        stats = self.per_class.get(class_name)
+        if stats is None:
+            stats = _ClassStats()
+            self.per_class[class_name] = stats
+        return stats
+
+    @property
+    def total_requests(self) -> int:
+        return sum(stats.count for stats in self.per_class.values())
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": TRACE_SCHEMA,
+            "round_trips": self.round_trips,
+            "total_requests": self.total_requests,
+            "errors_by_type": dict(sorted(self.errors_by_type.items())),
+            "per_class": {
+                name: self.per_class[name].to_dict()
+                for name in sorted(self.per_class)
+            },
+        }
+
+    def dump_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+
+class TraceInterceptor(Interceptor):
+    """Counts, sizes, and times every request flowing through a pipeline.
+
+    Purely observational: it charges no time and changes no results, so a
+    run with only this interceptor produces a ``TxnMetrics.digest()``
+    identical to the bare pipeline.  When the owning driver exposes a
+    :class:`~repro.bench.metrics.TxnMetrics`, the trace is attached to it
+    as ``metrics.request_trace``.
+    """
+
+    def __init__(self, trace: Optional[RequestTrace] = None) -> None:
+        self.trace = trace if trace is not None else RequestTrace()
+
+    def on_attach(self, env: DispatchEnv) -> None:
+        if env.metrics is not None:
+            env.metrics.request_trace = self.trace
+
+    def intercept(self, request: Any, ctx: DispatchContext,
+                  next: NextFn) -> Generator[Any, Any, Any]:
+        trace = self.trace
+        name = request.__class__.__name__
+        ops = getattr(request, "ops", None)
+        n_ops = len(ops) if ops is not None else 1
+        size = _approx_request_bytes(request)
+        started = ctx.clock.now
+        try:
+            result = yield from next(request)
+        except BaseException as exc:
+            trace.stats_for(name).errors += 1
+            exc_name = exc.__class__.__name__
+            trace.errors_by_type[exc_name] = (
+                trace.errors_by_type.get(exc_name, 0) + 1
+            )
+            raise
+        trace.round_trips += 1
+        trace.stats_for(name).record(n_ops, size, ctx.clock.now - started)
+        return result
+
+
+# ---------------------------------------------------------------------------
+# fault injection
+# ---------------------------------------------------------------------------
+
+
+class InjectedCrash(Exception):
+    """Raised by :class:`CrashPoint` to abandon a protocol coroutine the
+    instant after a chosen request executed -- the shape of a processing
+    node dying mid-transaction.  Deliberately *not* a TellError: drivers
+    must not route it into the coroutine's error handling (a crashed PN
+    runs no cleanup code)."""
+
+    def __init__(self, request: Any) -> None:
+        super().__init__(f"injected crash after {request!r}")
+        self.request = request
+
+
+class FaultRule:
+    """One deterministic injection rule.
+
+    Matches requests by class name (``op``, ``None`` = any) and -- for
+    storage requests -- by ``space`` (``None`` = any).  On a match, with
+    probability ``error_rate`` the rule raises ``error_type(...)`` instead
+    of executing the request, and with probability ``latency_rate`` it
+    stalls the caller for ``latency_us`` of simulated time first.
+    """
+
+    __slots__ = ("op", "space", "error_rate", "error_type", "latency_us",
+                 "latency_rate")
+
+    def __init__(self, op: Optional[str] = None, space: Optional[str] = None,
+                 error_rate: float = 0.0,
+                 error_type: Type[Exception] = NodeUnavailable,
+                 latency_us: float = 0.0, latency_rate: float = 1.0) -> None:
+        self.op = op
+        self.space = space
+        self.error_rate = error_rate
+        self.error_type = error_type
+        self.latency_us = latency_us
+        self.latency_rate = latency_rate
+
+    def matches(self, request: Any) -> bool:
+        if self.op is not None and request.__class__.__name__ != self.op:
+            return False
+        if self.space is not None and getattr(request, "space", None) != self.space:
+            return False
+        return True
+
+
+class ScheduledFault:
+    """A deployment-level event fired at an absolute simulated time.
+
+    ``action(env)`` receives the :class:`DispatchEnv`; use the factories
+    :func:`kill_storage_node` / :func:`restart_storage_node` or pass any
+    callable (e.g. a commit-manager failover).  Requires a simulated
+    deployment -- the direct runner has no timeline to schedule on.
+    """
+
+    __slots__ = ("at_us", "action", "label")
+
+    def __init__(self, at_us: float, action: Callable[[DispatchEnv], None],
+                 label: str = "fault") -> None:
+        self.at_us = at_us
+        self.action = action
+        self.label = label
+
+    def __repr__(self) -> str:
+        return f"ScheduledFault({self.at_us}, {self.label!r})"
+
+
+def kill_storage_node(node_id: int) -> Callable[[DispatchEnv], None]:
+    """Action: crash one SN and fail its partitions over to replicas."""
+
+    def action(env: DispatchEnv) -> None:
+        if env.management is not None:
+            env.management.handle_node_failure(node_id)
+        else:
+            env.cluster.nodes[node_id].crash()
+
+    return action
+
+
+def restart_storage_node(node_id: int) -> Callable[[DispatchEnv], None]:
+    """Action: bring a crashed SN back (empty; the management node must
+    re-replicate partitions onto it)."""
+
+    def action(env: DispatchEnv) -> None:
+        env.cluster.nodes[node_id].restart()
+
+    return action
+
+
+class FaultInjector(Interceptor):
+    """Deterministic, seed-driven fault injection middleware.
+
+    Three fault shapes, replacing the ad-hoc failure plumbing that tests
+    used to hand-roll:
+
+    * per-space/per-op *errors* and *added latency* via :class:`FaultRule`
+      (probabilities drawn from a private seeded RNG, so a fixed seed
+      reproduces the exact same faults),
+    * deployment events (SN kill/restart, CM failover) via
+      :class:`ScheduledFault`, armed on the simulator clock at attach
+      time.
+    """
+
+    def __init__(self, seed: int = 0, rules: Sequence[FaultRule] = (),
+                 schedule: Sequence[ScheduledFault] = ()) -> None:
+        self.rng = random.Random(seed)
+        self.rules = list(rules)
+        self.schedule = list(schedule)
+        self.injected_errors = 0
+        self.injected_delays = 0
+        self.fired_events: List[str] = []
+
+    def on_attach(self, env: DispatchEnv) -> None:
+        if not self.schedule:
+            return
+        if env.sim is None:
+            raise ValueError(
+                "ScheduledFault requires a simulated deployment; the "
+                "direct runner has no timeline"
+            )
+        for fault in self.schedule:
+            env.sim.call_at(fault.at_us, self._firer(fault, env))
+
+    def _firer(self, fault: ScheduledFault,
+               env: DispatchEnv) -> Callable[[], None]:
+        def fire() -> None:
+            fault.action(env)
+            self.fired_events.append(fault.label)
+
+        return fire
+
+    def intercept(self, request: Any, ctx: DispatchContext,
+                  next: NextFn) -> Generator[Any, Any, Any]:
+        for rule in self.rules:
+            if not rule.matches(request):
+                continue
+            if rule.latency_us > 0.0 and (
+                rule.latency_rate >= 1.0
+                or self.rng.random() < rule.latency_rate
+            ):
+                self.injected_delays += 1
+                yield _delay(rule.latency_us)
+            if rule.error_rate > 0.0 and self.rng.random() < rule.error_rate:
+                self.injected_errors += 1
+                raise rule.error_type(
+                    f"injected fault for {request!r}"
+                )
+        return (yield from next(request))
+
+
+def _delay(duration: float) -> Any:
+    from repro.sim.kernel import delay_of
+
+    return delay_of(duration)
+
+
+class CrashPoint(Interceptor):
+    """Crash the driving coroutine right after a chosen request executes.
+
+    ``predicate(request)`` picks the crash point; the request *is*
+    executed (its state transition lands in the store) and then
+    :class:`InjectedCrash` unwinds the driver, abandoning the coroutine
+    exactly like a processing-node failure between two requests.  Fires
+    at most once unless ``repeat`` is set.
+    """
+
+    def __init__(self, predicate: Callable[[Any], bool],
+                 repeat: bool = False) -> None:
+        self.predicate = predicate
+        self.repeat = repeat
+        self.crashes = 0
+
+    @property
+    def fired(self) -> bool:
+        return self.crashes > 0
+
+    def intercept(self, request: Any, ctx: DispatchContext,
+                  next: NextFn) -> Generator[Any, Any, Any]:
+        result = yield from next(request)
+        if (self.repeat or not self.fired) and self.predicate(request):
+            self.crashes += 1
+            raise InjectedCrash(request)
+        return result
+
+
+# ---------------------------------------------------------------------------
+# retry policy
+# ---------------------------------------------------------------------------
+
+
+class RetryPolicy(Interceptor):
+    """Centralized bounded retry with exponential backoff.
+
+    Retries the tail of the pipeline when it raises one of ``retry_on``
+    (transient storage errors by default), waiting ``backoff_us`` of
+    simulated time before the first retry and doubling per attempt
+    (``multiplier``).  Under the direct runner the backoff resolves
+    immediately (time is not modelled).  ``retryable(request, exc)``
+    optionally narrows which requests may be retried -- e.g. reads only.
+    """
+
+    def __init__(self, max_attempts: int = 3, backoff_us: float = 100.0,
+                 multiplier: float = 2.0,
+                 retry_on: Tuple[Type[Exception], ...] = (NodeUnavailable,),
+                 retryable: Optional[Callable[[Any, Exception], bool]] = None,
+                 ) -> None:
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        self.max_attempts = max_attempts
+        self.backoff_us = backoff_us
+        self.multiplier = multiplier
+        self.retry_on = retry_on
+        self.retryable = retryable
+        self.retries = 0
+
+    def intercept(self, request: Any, ctx: DispatchContext,
+                  next: NextFn) -> Generator[Any, Any, Any]:
+        attempt = 1
+        backoff = self.backoff_us
+        while True:
+            try:
+                return (yield from next(request))
+            except self.retry_on as exc:
+                if attempt >= self.max_attempts:
+                    raise
+                if self.retryable is not None and not self.retryable(
+                        request, exc):
+                    raise
+                attempt += 1
+                self.retries += 1
+                if backoff > 0.0:
+                    yield _delay(backoff)
+                    backoff *= self.multiplier
+
+
+__all__ = [
+    "TRACE_SCHEMA",
+    "RequestTrace",
+    "TraceInterceptor",
+    "InjectedCrash",
+    "FaultRule",
+    "ScheduledFault",
+    "FaultInjector",
+    "CrashPoint",
+    "RetryPolicy",
+    "kill_storage_node",
+    "restart_storage_node",
+]

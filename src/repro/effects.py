@@ -19,11 +19,16 @@ from __future__ import annotations
 
 from typing import Any, Generator, Optional, Sequence
 
+from repro.errors import TellError
+
 
 class Request:
     """Base class for every yieldable request."""
 
     __slots__ = ()
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
 
 
 # ---------------------------------------------------------------------------
@@ -60,6 +65,9 @@ class Put(StoreRequest):
         super().__init__(space, key)
         self.value = value
 
+    def __repr__(self) -> str:
+        return f"Put({self.space!r}, {self.key!r}, {self.value!r})"
+
 
 class PutIfVersion(StoreRequest):
     """Store-conditional write (the SC of LL/SC).
@@ -77,6 +85,12 @@ class PutIfVersion(StoreRequest):
         self.value = value
         self.expected_version = expected_version
 
+    def __repr__(self) -> str:
+        return (
+            f"PutIfVersion({self.space!r}, {self.key!r}, {self.value!r}, "
+            f"expected_version={self.expected_version})"
+        )
+
 
 class Delete(StoreRequest):
     """Remove a cell.  Result: ``True`` if it existed."""
@@ -93,6 +107,12 @@ class DeleteIfVersion(StoreRequest):
         super().__init__(space, key)
         self.expected_version = expected_version
 
+    def __repr__(self) -> str:
+        return (
+            f"DeleteIfVersion({self.space!r}, {self.key!r}, "
+            f"expected_version={self.expected_version})"
+        )
+
 
 class Increment(StoreRequest):
     """Atomically add ``delta`` to a numeric cell (creating it at 0).
@@ -106,6 +126,9 @@ class Increment(StoreRequest):
     def __init__(self, space: str, key: Any, delta: int = 1) -> None:
         super().__init__(space, key)
         self.delta = delta
+
+    def __repr__(self) -> str:
+        return f"Increment({self.space!r}, {self.key!r}, delta={self.delta})"
 
 
 class Scan(StoreRequest):
@@ -137,6 +160,16 @@ class Scan(StoreRequest):
     @property
     def start(self) -> Any:
         return self.key
+
+    def __repr__(self) -> str:
+        extra = ""
+        if self.limit is not None:
+            extra += f", limit={self.limit}"
+        if self.snapshot is not None:
+            extra += ", snapshot=..."
+        if self.scan_filter is not None or self.projection is not None:
+            extra += ", pushdown=..."
+        return f"Scan({self.space!r}, {self.key!r}..{self.end!r}{extra})"
 
 
 class Batch(Request):
@@ -185,6 +218,9 @@ class ReportCommitted(CommitManagerRequest):
     def __init__(self, tid: int) -> None:
         self.tid = tid
 
+    def __repr__(self) -> str:
+        return f"ReportCommitted(tid={self.tid})"
+
 
 class ReportAborted(CommitManagerRequest):
     """Tell the commit manager that ``tid`` aborted."""
@@ -193,6 +229,9 @@ class ReportAborted(CommitManagerRequest):
 
     def __init__(self, tid: int) -> None:
         self.tid = tid
+
+    def __repr__(self) -> str:
+        return f"ReportAborted(tid={self.tid})"
 
 
 # ---------------------------------------------------------------------------
@@ -212,6 +251,9 @@ class Compute(Request):
     def __init__(self, duration: float) -> None:
         self.duration = duration
 
+    def __repr__(self) -> str:
+        return f"Compute({self.duration})"
+
 
 class Sleep(Request):
     """Suspend for simulated time (background tasks: GC, CM sync)."""
@@ -221,14 +263,36 @@ class Sleep(Request):
     def __init__(self, duration: float) -> None:
         self.duration = duration
 
+    def __repr__(self) -> str:
+        return f"Sleep({self.duration})"
+
 
 def run_direct(generator: Generator[Any, Any, Any], router: Any) -> Any:
     """Drive a protocol coroutine to completion, resolving each request
-    immediately via ``router.execute``.  Returns the coroutine's result."""
+    immediately via ``router.execute``.  Returns the coroutine's result.
+
+    Protocol-level errors (``TellError``) are thrown *into* the coroutine
+    so its abort/cleanup path runs -- the same contract as the simulation
+    driver.  Anything else (driver bugs, injected crashes) closes the
+    coroutine and propagates, so ``finally`` blocks still execute instead
+    of abandoning the transaction mid-flight.
+    """
+    send = generator.send
     result: Any = None
+    error: Optional[BaseException] = None
     while True:
         try:
-            request = generator.send(result)
+            if error is None:
+                request = send(result)
+            else:
+                exc, error = error, None
+                request = generator.throw(exc)
         except StopIteration as stop:
             return stop.value
-        result = router.execute(request)
+        try:
+            result = router.execute(request)
+        except TellError as exc:
+            error = exc
+        except BaseException:
+            generator.close()
+            raise

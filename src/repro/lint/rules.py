@@ -485,6 +485,82 @@ Fix: default to None and create the container inside the function.
                     )
 
 
+class RL008BypassedDispatch(Rule):
+    code = "RL008"
+    title = "dispatcher bypassed from protocol code"
+    explain = """\
+PR 3 unified request routing into the repro.dispatch pipeline: every
+request a protocol coroutine needs served must be *yielded* as an effect
+so it flows through the interceptor chain (tracing, fault injection,
+retry policy).  Calling the backing components directly from protocol
+code -- `cluster.execute(...)`, `commit_manager.start(...)` /
+`.set_committed(...)` / `.set_aborted(...)` -- resurrects the pre-PR-3
+ad-hoc ladders: the call is invisible to every interceptor, takes no
+simulated time, and bypasses fault injection, so recovery scenarios
+silently stop covering it.
+
+RL008 fires inside the protocol packages (repro.core, repro.index,
+repro.sql, repro.workloads) on any call whose receiver name (or final
+attribute) is `cluster` with method `execute` / `execute_scan`, or
+`commit_manager` / `manager` with method `start` / `set_committed` /
+`set_aborted`.
+
+Drivers (repro.dispatch, repro.bench, repro.api) are exempt: serving
+these calls is their job.  Legitimate direct uses -- e.g. the commit
+manager's own tid-counter refill -- carry
+`# repro-lint: ignore[RL008]` with a justification.
+"""
+
+    #: Packages holding protocol coroutines that must yield effects.
+    PROTOCOL_PACKAGES: Tuple[str, ...] = (
+        "repro.core",
+        "repro.index",
+        "repro.sql",
+        "repro.workloads",
+    )
+
+    _CLUSTER_METHODS = frozenset({"execute", "execute_scan"})
+    _CM_METHODS = frozenset({"start", "set_committed", "set_aborted"})
+    _CLUSTER_NAMES = frozenset({"cluster", "storage_cluster"})
+    _CM_NAMES = frozenset({"commit_manager", "manager"})
+
+    @staticmethod
+    def _receiver_name(node: ast.expr) -> Optional[str]:
+        """Final name of the receiver chain: `a.b.cluster` -> 'cluster'."""
+        if isinstance(node, ast.Name):
+            return node.id
+        if isinstance(node, ast.Attribute):
+            return node.attr
+        return None
+
+    def check(self, module, tree, index):
+        if not in_packages(module.module, self.PROTOCOL_PACKAGES):
+            return
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            receiver = self._receiver_name(func.value)
+            if receiver is None:
+                continue
+            if (receiver in self._CLUSTER_NAMES
+                    and func.attr in self._CLUSTER_METHODS):
+                yield node, (
+                    f"direct `{receiver}.{func.attr}(...)` from protocol "
+                    f"module {module.module} bypasses the dispatch "
+                    f"pipeline; yield the request as an effect instead"
+                )
+            elif (receiver in self._CM_NAMES
+                    and func.attr in self._CM_METHODS):
+                yield node, (
+                    f"direct `{receiver}.{func.attr}(...)` from protocol "
+                    f"module {module.module} bypasses the dispatch "
+                    f"pipeline; yield the commit-manager effect instead"
+                )
+
+
 ALL_RULES: List[Rule] = [
     RL001DroppedEffect(),
     RL002GeneratorNotDelegated(),
@@ -493,6 +569,7 @@ ALL_RULES: List[Rule] = [
     RL005SetIteration(),
     RL006MissingSlots(),
     RL007MutableDefault(),
+    RL008BypassedDispatch(),
 ]
 
 RULES_BY_CODE = {rule.code: rule for rule in ALL_RULES}

@@ -23,6 +23,7 @@ from __future__ import annotations
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro import effects
+from repro.dispatch.core import KIND_BATCH, KIND_SCAN, kind_of
 from repro.errors import InvalidState, NodeUnavailable
 from repro.store.cell import approx_size
 from repro.store.node import StorageNode
@@ -140,10 +141,15 @@ class StorageCluster:
     # -- execution -----------------------------------------------------------
 
     def execute(self, op: effects.Request) -> Any:
-        """Execute a request synchronously (direct mode)."""
-        if isinstance(op, effects.Batch):
+        """Execute a request synchronously (direct mode).
+
+        Classification is the shared :func:`repro.dispatch.core.kind_of`
+        (one dict lookup for the exact effect classes).
+        """
+        kind = kind_of(op)
+        if kind == KIND_BATCH:
             return [self.execute(sub) for sub in op.ops]
-        if isinstance(op, effects.Scan):
+        if kind == KIND_SCAN:
             return self.execute_scan(op)
         routing = self.routing(op)
         result, _size = self.apply(op, routing.partition_id, routing.node_id)

@@ -4,14 +4,17 @@ The point of a latch-free index (Section 5.3) is that a processing node
 can die at *any* instant without leaving the tree in a state that blocks
 or corrupts other nodes: every intermediate state either is invisible
 (fresh nodes not yet linked) or remains navigable through sibling links.
-These tests stop a writer's coroutine at chosen request boundaries --
-exactly what a PN crash does -- and verify other handles keep working.
+These tests crash a writer's coroutine at chosen request boundaries --
+exactly what a PN crash does -- via the dispatch pipeline's
+:class:`~repro.dispatch.CrashPoint` interceptor, and verify other
+handles keep working.
 """
 
 import pytest
 
 from repro import effects
 from repro.api.runner import DirectRunner, Router
+from repro.dispatch import CrashPoint, InjectedCrash
 from repro.index.btree import DistributedBTree
 from repro.store.cluster import StorageCluster
 
@@ -25,18 +28,17 @@ def env():
     return cluster, runner, tree
 
 
-def drive_until(router, generator, stop_predicate):
-    """Drive a coroutine, aborting it right after the first request that
-    satisfies ``stop_predicate`` has been executed (simulated crash)."""
-    result = None
-    while True:
-        try:
-            request = generator.send(result)
-        except StopIteration:
-            return False  # finished before the crash point
-        result = router.execute(request)
-        if stop_predicate(request):
-            return True  # crashed after this request
+def run_until_crash(cluster, generator, crash_predicate):
+    """Drive a coroutine through a pipeline that crashes it right after
+    the first request satisfying ``crash_predicate`` has been executed
+    (simulated PN crash).  Returns True if the crash fired."""
+    crash = CrashPoint(crash_predicate)
+    router = Router(cluster, interceptors=[crash])
+    try:
+        effects.run_direct(generator, router)
+    except InjectedCrash:
+        pass
+    return crash.fired
 
 
 def fill_leaf(runner, tree, count=4):
@@ -59,8 +61,8 @@ class TestCrashMidSplit:
                 and not isinstance(request.key[1], str)  # a node, not root
             )
 
-        crashed = drive_until(
-            runner.router, tree.insert(10, 10), stop_after_right_put
+        crashed = run_until_crash(
+            cluster, tree.insert(10, 10), stop_after_right_put
         )
         assert crashed, "the insert should have split"
         # Another PN's handle sees the original four keys, can insert, read.
@@ -77,25 +79,20 @@ class TestCrashMidSplit:
         for key in range(0, 40, 2):
             runner.run(tree.insert(key, key))
 
-        cas_count = {"n": 0}
-
         def stop_after_leaf_cas(request):
-            if (
+            return (
                 isinstance(request, effects.PutIfVersion)
                 and request.space == "index"
                 and getattr(request.value, "is_leaf", False)
                 and request.value.right_id is not None
-            ):
-                cas_count["n"] += 1
-                return True
-            return False
+            )
 
         # Insert odd keys until one triggers a leaf split, then crash.
         crashed = False
         key = 1
         while not crashed and key < 40:
-            crashed = drive_until(
-                runner.router, tree.insert(key, key), stop_after_leaf_cas
+            crashed = run_until_crash(
+                cluster, tree.insert(key, key), stop_after_leaf_cas
             )
             key += 2
         assert crashed, "no split happened; widen the key range"
@@ -126,8 +123,8 @@ class TestCrashMidSplit:
         crashed = False
         key = 0
         while not crashed and key < 100:
-            crashed = drive_until(
-                runner.router, tree.insert(key, key), stop_after_new_root_put
+            crashed = run_until_crash(
+                cluster, tree.insert(key, key), stop_after_new_root_put
             )
             key += 1
         assert crashed, "tree never tried to grow its root"
@@ -159,8 +156,8 @@ class TestRepeatedCrashes:
                 return counter["n"] >= budget
 
             handle = DistributedBTree(index_id=1, max_entries=4)
-            crashed = drive_until(
-                runner.router, handle.insert(key, key), stop_after_n
+            crashed = run_until_crash(
+                cluster, handle.insert(key, key), stop_after_n
             )
             if not crashed:
                 committed.add(key)

@@ -1,9 +1,15 @@
-"""Tests for commit-manager failure and replacement (Section 4.4.3)."""
+"""Tests for commit-manager failure and replacement (Section 4.4.3),
+plus transient-storage-error handling: retries live in the dispatch
+pipeline's :class:`~repro.dispatch.RetryPolicy`, not in ad-hoc loops
+inside the protocol code."""
 
 import pytest
 
 from repro.api import Database
-from repro.errors import InvalidState, TransactionAborted
+from repro.api.runner import DirectRunner, Router
+from repro.core.processing_node import ProcessingNode
+from repro.dispatch import FaultInjector, FaultRule, RetryPolicy
+from repro.errors import InvalidState, NodeUnavailable, TransactionAborted
 
 
 class TestCommitManagerFailover:
@@ -83,3 +89,52 @@ class TestCommitManagerFailover:
             a.execute("INSERT INTO t VALUES (?)", [i])
         replacement = db.crash_commit_manager(0)
         assert replacement.completed.base >= 10
+
+
+class TestTransientStorageErrors:
+    """Transient ``NodeUnavailable`` from the store is absorbed by the
+    centralized :class:`RetryPolicy` interceptor; the protocol coroutines
+    never see it and the transactions commit normally."""
+
+    def _flaky_runner(self, db, error_rate=0.2, max_attempts=8, seed=5):
+        retry = RetryPolicy(max_attempts=max_attempts, backoff_us=10.0)
+        # Commit applies its write set via Batch; reads hit "data" directly.
+        fault = FaultInjector(seed=seed, rules=[
+            FaultRule(op="Batch", error_rate=error_rate),
+            FaultRule(space="data", error_rate=error_rate),
+        ])
+        router = Router(
+            db.cluster, db.commit_managers[0], pn_id=42,
+            interceptors=[retry, fault],
+        )
+        return DirectRunner(router), retry, fault
+
+    def test_retry_policy_masks_flaky_store(self):
+        db = Database()
+        pn = ProcessingNode(42)
+        runner, retry, fault = self._flaky_runner(db)
+        for key in range(40):
+            txn = runner.run(pn.begin())
+            txn.insert(("t", key), (key,))
+            runner.run(txn.commit())
+        assert fault.injected_errors > 0, "the fault never fired"
+        assert retry.retries == fault.injected_errors
+        # Every write survived the flakiness.
+        check = runner.run(pn.begin())
+        for key in range(40):
+            assert runner.run(check.read(("t", key))) == (key,)
+
+    def test_without_retry_the_error_aborts_the_transaction(self):
+        db = Database()
+        pn = ProcessingNode(42)
+        fault = FaultInjector(seed=5, rules=[
+            FaultRule(op="Batch", error_rate=1.0),
+        ])
+        runner = DirectRunner(
+            Router(db.cluster, db.commit_managers[0], pn_id=42,
+                   interceptors=[fault])
+        )
+        txn = runner.run(pn.begin())
+        txn.insert(("t", 0), (0,))
+        with pytest.raises((NodeUnavailable, TransactionAborted)):
+            runner.run(txn.commit())

@@ -1,0 +1,448 @@
+"""Unit tests for the repro.dispatch pipeline.
+
+Covers the shared classification (kind_of), the direct Dispatcher, the
+compose/interceptor protocol, the three production interceptors, the
+run_direct error contract, and the Request __repr__ coverage that makes
+traces readable.
+"""
+
+import json
+
+import pytest
+
+from repro import effects
+from repro.api.runner import Router
+from repro.dispatch import (
+    KIND_BATCH,
+    KIND_CM_ABORTED,
+    KIND_CM_COMMITTED,
+    KIND_CM_START,
+    KIND_COMPUTE,
+    KIND_SCAN,
+    KIND_SLEEP,
+    KIND_STORE,
+    CrashPoint,
+    DispatchContext,
+    Dispatcher,
+    FaultInjector,
+    FaultRule,
+    InjectedCrash,
+    Interceptor,
+    RequestTrace,
+    RetryPolicy,
+    TraceInterceptor,
+    compose,
+    drive_sync,
+    kind_of,
+)
+from repro.dispatch.core import _KIND_BY_CLASS
+from repro.errors import NodeUnavailable, TellError
+from repro.store.cluster import StorageCluster
+
+
+# ---------------------------------------------------------------------------
+# classification
+# ---------------------------------------------------------------------------
+
+
+class TestKindOf:
+    def test_exact_classes(self):
+        assert kind_of(effects.Get("s", 1)) == KIND_STORE
+        assert kind_of(effects.Put("s", 1, 2)) == KIND_STORE
+        assert kind_of(effects.PutIfVersion("s", 1, 2, 0)) == KIND_STORE
+        assert kind_of(effects.Delete("s", 1)) == KIND_STORE
+        assert kind_of(effects.DeleteIfVersion("s", 1, 0)) == KIND_STORE
+        assert kind_of(effects.Increment("s", 1)) == KIND_STORE
+        assert kind_of(effects.Scan("s", None, None)) == KIND_SCAN
+        assert kind_of(effects.Batch([])) == KIND_BATCH
+        assert kind_of(effects.StartTransaction()) == KIND_CM_START
+        assert kind_of(effects.ReportCommitted(1)) == KIND_CM_COMMITTED
+        assert kind_of(effects.ReportAborted(1)) == KIND_CM_ABORTED
+        assert kind_of(effects.Compute(1.0)) == KIND_COMPUTE
+        assert kind_of(effects.Sleep(1.0)) == KIND_SLEEP
+
+    def test_subclass_is_classified_and_cached(self):
+        class FancyGet(effects.Get):
+            __slots__ = ()
+
+        try:
+            request = FancyGet("s", 1)
+            assert FancyGet not in _KIND_BY_CLASS
+            assert kind_of(request) == KIND_STORE
+            assert _KIND_BY_CLASS[FancyGet] == KIND_STORE  # cached now
+            assert kind_of(request) == KIND_STORE
+        finally:
+            _KIND_BY_CLASS.pop(FancyGet, None)
+
+    def test_scan_subclass_beats_store_fallback(self):
+        class FancyScan(effects.Scan):
+            __slots__ = ()
+
+        try:
+            assert kind_of(FancyScan("s", None, None)) == KIND_SCAN
+        finally:
+            _KIND_BY_CLASS.pop(FancyScan, None)
+
+    def test_unroutable_raises_type_error(self):
+        with pytest.raises(TypeError):
+            kind_of("not a request")
+        with pytest.raises(TypeError):
+            kind_of(effects.Request())
+
+
+# ---------------------------------------------------------------------------
+# the direct dispatcher
+# ---------------------------------------------------------------------------
+
+
+class TestDispatcher:
+    def test_store_requests_hit_the_cluster(self, cluster):
+        dispatcher = Dispatcher(cluster)
+        dispatcher.execute(effects.Put("data", "k", "v"))
+        value, version = dispatcher.execute(effects.Get("data", "k"))
+        assert value == "v" and version == 1
+        results = dispatcher.execute(
+            effects.Batch([effects.Get("data", "k"), effects.Get("data", "x")])
+        )
+        assert results[0][0] == "v" and results[1][0] is None
+
+    def test_cm_requests_without_cm_raise(self, cluster):
+        dispatcher = Dispatcher(cluster)
+        with pytest.raises(RuntimeError):
+            dispatcher.execute(effects.StartTransaction())
+
+    def test_compute_and_sleep_are_noops(self, cluster):
+        dispatcher = Dispatcher(cluster)
+        assert dispatcher.execute(effects.Compute(5.0)) is None
+        assert dispatcher.execute(effects.Sleep(5.0)) is None
+
+    def test_router_is_a_dispatcher(self, cluster):
+        assert isinstance(Router(cluster), Dispatcher)
+
+
+# ---------------------------------------------------------------------------
+# compose / interceptor protocol
+# ---------------------------------------------------------------------------
+
+
+class _Recorder(Interceptor):
+    def __init__(self, name, log):
+        self.name = name
+        self.log = log
+
+    def intercept(self, request, ctx, next):
+        self.log.append(f"{self.name}:enter")
+        result = yield from next(request)
+        self.log.append(f"{self.name}:exit")
+        return result
+
+
+class TestCompose:
+    def test_empty_chain_is_the_tail_itself(self):
+        def tail(request):
+            return iter(())
+
+        ctx = DispatchContext()
+        assert compose([], tail, ctx) is tail
+
+    def test_chain_runs_outermost_first(self, cluster):
+        log = []
+        router = Router(
+            cluster,
+            interceptors=[_Recorder("outer", log), _Recorder("inner", log)],
+        )
+        router.execute(effects.Put("data", "k", "v"))
+        assert log == ["outer:enter", "inner:enter", "inner:exit",
+                       "outer:exit"]
+
+    def test_drive_sync_resolves_yields_to_none(self):
+        seen = []
+
+        def gen():
+            seen.append((yield "anything"))
+            return 42
+
+        assert drive_sync(gen()) == 42
+        assert seen == [None]
+
+
+# ---------------------------------------------------------------------------
+# run_direct error contract (satellite regression tests)
+# ---------------------------------------------------------------------------
+
+
+class _FlakyCluster:
+    """Stub cluster failing the first ``failures`` executes."""
+
+    def __init__(self, failures):
+        self.failures = failures
+        self.calls = 0
+
+    def execute(self, request):
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise NodeUnavailable("injected transient failure")
+        return ("ok", self.calls)
+
+
+class TestRunDirectErrors:
+    def test_tell_error_is_thrown_into_the_coroutine(self, cluster):
+        events = []
+
+        def proto():
+            try:
+                yield effects.Get("data", "k")
+                events.append("first-ok")
+                yield _Boom("data", "k")  # the fault rule targets this class
+            except TellError as exc:
+                events.append(f"caught:{type(exc).__name__}")
+                # protocol-level cleanup runs and can keep issuing requests
+                yield effects.Put("data", "cleaned", True)
+                return "aborted"
+            return "committed"
+
+        class _Boom(effects.Get):
+            __slots__ = ()
+
+        fault = FaultInjector(seed=1, rules=[
+            FaultRule(op="_Boom", error_rate=1.0),
+        ])
+        router = Router(cluster, interceptors=[fault])
+        outcome = effects.run_direct(proto(), router)
+        assert outcome == "aborted"
+        assert events == ["first-ok", "caught:NodeUnavailable"]
+        assert cluster.execute(effects.Get("data", "cleaned"))[0] is True
+
+    def test_uncaught_tell_error_propagates(self):
+        def proto():
+            yield effects.Get("data", "k")
+            return "done"
+
+        with pytest.raises(NodeUnavailable):
+            effects.run_direct(proto(), Dispatcher(_FlakyCluster(99)))
+
+    def test_non_tell_error_closes_the_coroutine(self, cluster):
+        cleaned = []
+
+        def proto():
+            try:
+                yield effects.Put("data", "k", "v")
+                yield effects.Get("data", "k")
+            finally:
+                cleaned.append(True)
+            return "done"
+
+        crash = CrashPoint(lambda r: isinstance(r, effects.Get))
+        router = Router(cluster, interceptors=[crash])
+        with pytest.raises(InjectedCrash):
+            effects.run_direct(proto(), router)
+        # close() ran the coroutine's finally block instead of abandoning it
+        assert cleaned == [True]
+        # the crash struck *after* the matched request executed
+        assert cluster.execute(effects.Get("data", "k"))[0] == "v"
+
+
+# ---------------------------------------------------------------------------
+# trace interceptor
+# ---------------------------------------------------------------------------
+
+
+class TestTraceInterceptor:
+    def test_counts_bytes_and_round_trips(self, cluster):
+        trace = RequestTrace()
+        router = Router(cluster, interceptors=[TraceInterceptor(trace)])
+        router.execute(effects.Put("data", "k", "v"))
+        router.execute(effects.Get("data", "k"))
+        router.execute(
+            effects.Batch([effects.Get("data", "k"), effects.Get("data", "x")])
+        )
+        assert trace.round_trips == 3
+        assert trace.total_requests == 3
+        assert trace.per_class["Put"].count == 1
+        assert trace.per_class["Get"].count == 1
+        assert trace.per_class["Batch"].ops == 2
+        assert trace.per_class["Put"].bytes > trace.per_class["Get"].bytes
+
+    def test_errors_are_recorded_and_reraised(self, cluster):
+        trace = RequestTrace()
+        fault = FaultInjector(seed=3, rules=[
+            FaultRule(op="Get", error_rate=1.0),
+        ])
+        # trace wraps fault: the trace sees the injected error
+        router = Router(cluster, interceptors=[TraceInterceptor(trace), fault])
+        with pytest.raises(NodeUnavailable):
+            router.execute(effects.Get("data", "k"))
+        assert trace.per_class["Get"].errors == 1
+        assert trace.errors_by_type == {"NodeUnavailable": 1}
+        assert trace.round_trips == 0
+
+    def test_json_dump_schema(self, cluster):
+        router = Router(cluster, interceptors=[TraceInterceptor()])
+        router.execute(effects.Put("data", "k", "v"))
+        payload = json.loads(
+            router.interceptors[0].trace.dump_json()
+        )
+        assert payload["schema"] == "repro-dispatch-trace/1"
+        assert payload["per_class"]["Put"]["count"] == 1
+        assert "latency_histogram_log2_us" in payload["per_class"]["Put"]
+
+
+# ---------------------------------------------------------------------------
+# retry policy
+# ---------------------------------------------------------------------------
+
+
+class TestRetryPolicy:
+    def test_transient_errors_are_retried(self):
+        flaky = _FlakyCluster(failures=2)
+        retry = RetryPolicy(max_attempts=3, backoff_us=10.0)
+        dispatcher = Dispatcher(flaky, interceptors=[retry])
+        assert dispatcher.execute(effects.Get("data", "k")) == ("ok", 3)
+        assert retry.retries == 2
+
+    def test_attempts_are_bounded(self):
+        flaky = _FlakyCluster(failures=99)
+        retry = RetryPolicy(max_attempts=3, backoff_us=0.0)
+        dispatcher = Dispatcher(flaky, interceptors=[retry])
+        with pytest.raises(NodeUnavailable):
+            dispatcher.execute(effects.Get("data", "k"))
+        assert flaky.calls == 3
+
+    def test_retryable_filter_narrows(self):
+        flaky = _FlakyCluster(failures=1)
+        retry = RetryPolicy(
+            max_attempts=3,
+            retryable=lambda request, exc: isinstance(request, effects.Get),
+        )
+        dispatcher = Dispatcher(flaky, interceptors=[retry])
+        with pytest.raises(NodeUnavailable):
+            dispatcher.execute(effects.Put("data", "k", "v"))
+
+    def test_non_retry_on_errors_pass_through(self, cluster):
+        crash = CrashPoint(lambda r: True)
+        retry = RetryPolicy(max_attempts=5)
+        router = Router(cluster, interceptors=[retry, crash])
+        with pytest.raises(InjectedCrash):
+            router.execute(effects.Put("data", "k", "v"))
+        assert retry.retries == 0
+
+
+# ---------------------------------------------------------------------------
+# fault injector
+# ---------------------------------------------------------------------------
+
+
+class TestFaultInjector:
+    def _inject_pattern(self, seed, n=200):
+        cluster = StorageCluster(n_nodes=1)
+        fault = FaultInjector(seed=seed, rules=[
+            FaultRule(op="Get", space="data", error_rate=0.3),
+        ])
+        dispatcher = Dispatcher(cluster, interceptors=[fault])
+        pattern = []
+        for i in range(n):
+            try:
+                dispatcher.execute(effects.Get("data", i))
+                pattern.append(0)
+            except NodeUnavailable:
+                pattern.append(1)
+        return fault, pattern
+
+    def test_same_seed_reproduces_the_same_faults(self):
+        fault_a, pattern_a = self._inject_pattern(seed=7)
+        fault_b, pattern_b = self._inject_pattern(seed=7)
+        assert pattern_a == pattern_b
+        assert fault_a.injected_errors == fault_b.injected_errors > 0
+
+    def test_different_seeds_differ(self):
+        _f, pattern_a = self._inject_pattern(seed=7)
+        _g, pattern_b = self._inject_pattern(seed=8)
+        assert pattern_a != pattern_b
+
+    def test_rules_match_space_and_op(self, cluster):
+        fault = FaultInjector(seed=1, rules=[
+            FaultRule(op="Put", space="data", error_rate=1.0),
+        ])
+        dispatcher = Dispatcher(cluster, interceptors=[fault])
+        # wrong op and wrong space sail through
+        dispatcher.execute(effects.Get("data", "k"))
+        dispatcher.execute(effects.Put("index", "k", "v"))
+        with pytest.raises(NodeUnavailable):
+            dispatcher.execute(effects.Put("data", "k", "v"))
+
+    def test_custom_error_type(self, cluster):
+        class Transient(TellError):
+            pass
+
+        fault = FaultInjector(seed=1, rules=[
+            FaultRule(op="Get", error_rate=1.0, error_type=Transient),
+        ])
+        dispatcher = Dispatcher(cluster, interceptors=[fault])
+        with pytest.raises(Transient):
+            dispatcher.execute(effects.Get("data", "k"))
+
+    def test_schedule_requires_a_simulator(self, cluster):
+        from repro.dispatch import ScheduledFault, kill_storage_node
+
+        fault = FaultInjector(
+            seed=1,
+            schedule=[ScheduledFault(10.0, kill_storage_node(0))],
+        )
+        with pytest.raises(ValueError):
+            Dispatcher(cluster, interceptors=[fault])
+
+    def test_retry_recovers_injected_transients(self, cluster):
+        """Retry + fault injection compose: bounded retry absorbs a
+        moderate transient error rate."""
+        fault = FaultInjector(seed=5, rules=[
+            FaultRule(op="Get", error_rate=0.25),
+        ])
+        retry = RetryPolicy(max_attempts=8, backoff_us=1.0)
+        dispatcher = Dispatcher(
+            StorageCluster(n_nodes=1), interceptors=[retry, fault]
+        )
+        for i in range(100):
+            value, _version = dispatcher.execute(effects.Get("data", i))
+            assert value is None
+        assert retry.retries == fault.injected_errors > 0
+
+
+# ---------------------------------------------------------------------------
+# repr coverage (satellite)
+# ---------------------------------------------------------------------------
+
+
+class TestRequestReprs:
+    REQUESTS = [
+        (effects.Get("data", 1), "Get('data', 1)"),
+        (effects.Put("data", 1, "v"), "Put('data', 1, 'v')"),
+        (effects.PutIfVersion("data", 1, "v", 3),
+         "PutIfVersion('data', 1, 'v', expected_version=3)"),
+        (effects.Delete("data", 1), "Delete('data', 1)"),
+        (effects.DeleteIfVersion("data", 1, 2),
+         "DeleteIfVersion('data', 1, expected_version=2)"),
+        (effects.Increment("data", 1, delta=5),
+         "Increment('data', 1, delta=5)"),
+        (effects.Scan("data", 1, 9, limit=4), "Scan('data', 1..9, limit=4)"),
+        (effects.Batch([effects.Get("d", 1)]), "Batch(1 ops)"),
+        (effects.StartTransaction(), "StartTransaction()"),
+        (effects.ReportCommitted(7), "ReportCommitted(tid=7)"),
+        (effects.ReportAborted(8), "ReportAborted(tid=8)"),
+        (effects.Compute(2.5), "Compute(2.5)"),
+        (effects.Sleep(9.0), "Sleep(9.0)"),
+    ]
+
+    def test_every_request_class_has_a_useful_repr(self):
+        for request, expected in self.REQUESTS:
+            assert repr(request) == expected
+
+    def test_all_public_request_classes_covered(self):
+        covered = {type(r) for r, _ in self.REQUESTS}
+        public = {
+            cls for cls in vars(effects).values()
+            if isinstance(cls, type)
+            and issubclass(cls, effects.Request)
+            and cls not in (effects.Request, effects.StoreRequest,
+                            effects.CommitManagerRequest)
+        }
+        assert public <= covered

@@ -408,8 +408,64 @@ class TestRL007:
 
 
 # ---------------------------------------------------------------------------
-# Engine behaviour
+# RL008 -- dispatcher bypassed from protocol code
 # ---------------------------------------------------------------------------
+
+
+class TestRL008:
+    def test_cluster_execute_fires(self):
+        assert codes("""
+            def read(cluster, op):
+                return cluster.execute(op)
+        """) == ["RL008"]
+
+    def test_attribute_chain_receiver_fires(self):
+        assert codes("""
+            def scan(self, op):
+                return self.deployment.cluster.execute_scan(op)
+        """) == ["RL008"]
+
+    def test_commit_manager_call_fires(self):
+        assert codes("""
+            def finish(commit_manager, tid):
+                commit_manager.set_committed(tid)
+        """) == ["RL008"]
+
+    def test_manager_alias_fires(self):
+        assert codes("""
+            def finish(manager, tid):
+                manager.set_aborted(tid)
+        """) == ["RL008"]
+
+    def test_yielded_effect_is_clean(self):
+        assert codes("""
+            from repro import effects
+            def finish(tid):
+                yield effects.ReportCommitted(tid)
+        """) == []
+
+    def test_other_receivers_and_methods_are_clean(self):
+        assert codes("""
+            def f(pool, manager, cluster):
+                pool.execute("sql")          # not a cluster
+                manager.publish_state()      # not a CM dispatch method
+                return cluster.live_nodes()  # not execute/execute_scan
+        """) == []
+
+    def test_driver_packages_are_exempt(self):
+        source = """
+            def drive(cluster, op):
+                return cluster.execute(op)
+        """
+        assert codes(source, module="repro.bench.simcluster") == []
+        assert codes(source, module="repro.dispatch.direct") == []
+        assert codes(source, module="repro.api.runner") == []
+
+    def test_inline_suppression(self):
+        assert codes("""
+            def recover(manager, tid):
+                manager.set_aborted(tid)  # repro-lint: ignore[RL008]
+        """) == []
 
 
 class TestEngine:

@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""CI perf guard: compare ``tpcc_e2e`` against the committed baseline.
+
+Re-runs the end-to-end TPC-C benchmark and checks it against the
+``after`` entry in ``BENCH_perf.json``:
+
+* **Digest** (hard gate): the run's :meth:`TxnMetrics.digest` must match
+  the baseline byte for byte.  The benchmark is a deterministic
+  simulation, so any divergence is a behaviour change, not noise --
+  exactly what the dispatch-pipeline refactor must not introduce.
+* **Throughput** (soft gate, ``--tolerance``): the best-of-``--repeat``
+  wall-clock txns/s must stay within the tolerance band below the
+  baseline value.  Single runs on shared CI runners swing by 20%+
+  (locally observed 273..345 txns/s for the same build), which is why
+  the guard takes the *best* of several runs rather than one sample.
+
+Usage::
+
+    python tools/perf_guard.py                     # BENCH_perf.json, best-of-3, -10%
+    python tools/perf_guard.py --repeat 5 --tolerance 0.15
+"""
+
+import argparse
+import json
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.bench.perfsuite import run_suite  # noqa: E402
+
+BENCHMARK = "tpcc_e2e"
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", default="BENCH_perf.json",
+                        help="baseline report (default: BENCH_perf.json)")
+    parser.add_argument("--repeat", type=int, default=3,
+                        help="runs to take the best of (default: 3)")
+    parser.add_argument("--tolerance", type=float, default=0.10,
+                        help="allowed fractional slowdown (default: 0.10)")
+    args = parser.parse_args(argv)
+
+    with open(args.baseline) as handle:
+        baseline = json.load(handle)[
+            "benchmarks"][BENCHMARK]["after"]
+
+    print(f"perf-guard: {BENCHMARK} best-of-{args.repeat} "
+          f"vs {args.baseline} ({baseline['value']:,.1f} {baseline['unit']})")
+    result = run_suite([BENCHMARK], repeat=args.repeat)[BENCHMARK]
+
+    failures = []
+    if result.get("digest") != baseline.get("digest"):
+        failures.append(
+            f"digest mismatch: {result.get('digest')} != baseline "
+            f"{baseline.get('digest')} -- the simulated behaviour changed"
+        )
+    floor = (1.0 - args.tolerance) * baseline["value"]
+    if result["value"] < floor:
+        failures.append(
+            f"throughput {result['value']:,.1f} {result['unit']} below "
+            f"floor {floor:,.1f} ({args.tolerance:.0%} under baseline "
+            f"{baseline['value']:,.1f})"
+        )
+
+    if failures:
+        for failure in failures:
+            print(f"perf-guard: FAIL: {failure}", file=sys.stderr)
+        return 1
+    print(f"perf-guard: OK: {result['value']:,.1f} {result['unit']} "
+          f"(floor {floor:,.1f}), digest matches")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
