@@ -168,6 +168,10 @@ def main(argv=None) -> int:
                         const="-", default=None,
                         help="run under cProfile; write pstats to STATS_FILE "
                              "or print the top functions when omitted")
+    parser.add_argument("--sanitize", action="store_true",
+                        help="attach the repro.san sanitizers to every "
+                             "simulated cluster (slow; fails on SI/GC "
+                             "invariant violations)")
     args = parser.parse_args(argv)
 
     if args.list or not args.experiments:
@@ -176,6 +180,8 @@ def main(argv=None) -> int:
         return 0
     if args.profile:
         os.environ["REPRO_BENCH_PROFILE"] = args.profile
+    if args.sanitize:
+        os.environ["REPRO_SANITIZE"] = "1"
 
     profiler = None
     if args.cprofile is not None:

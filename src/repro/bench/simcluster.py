@@ -484,6 +484,13 @@ class SimulatedTell:
         self.catalog = build_tpcc_catalog()
         self.metrics = TxnMetrics()
         self.interceptors = list(interceptors)
+        self.sanitizer_log = None
+        from repro.san import sanitizers_enabled
+        if sanitizers_enabled():
+            from repro.san import make_sanitizers
+
+            self.sanitizer_log, chain = make_sanitizers()
+            self.interceptors.extend(chain)
         self._pn_handles: List[Tuple[ProcessingNode, CorePool, int, IndexManager]] = []
         self._populated = False
         if self.interceptors:
@@ -548,6 +555,8 @@ class SimulatedTell:
                 )
         self.sim.run(until=end_time)
         self.metrics.measured_time_us = end_time - warmup_end
+        if self.sanitizer_log is not None:
+            self.sanitizer_log.assert_clean()
         return self.metrics
 
     def _terminal(

@@ -202,6 +202,21 @@ class CommitManager:
             self.completed.mark_completed(tid)
             self._next_stripe += 1
 
+    # -- read-only introspection (sanitizers, reports) -----------------------------
+
+    def active_transactions(self) -> List[Tuple[int, int, int]]:
+        """Sorted ``(tid, snapshot_base, pn_id)`` for every transaction
+        this manager currently considers active.  Purely observational --
+        the sanitizers use it to bound the true lowest active version."""
+        return sorted(
+            (tid, base, self._active_pn.get(tid, -1))
+            for tid, base in self._active_base.items()
+        )
+
+    def completed_view(self) -> SnapshotDescriptor:
+        """An immutable copy of the completed set (safe to retain)."""
+        return self.completed.snapshot()
+
     # -- recovery support ----------------------------------------------------------
 
     def active_tids_of(self, pn_id: int) -> List[int]:

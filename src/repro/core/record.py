@@ -121,6 +121,18 @@ class VersionedRecord:
     def newest_tid(self) -> int:
         return self.versions[0].tid if self.versions else 0
 
+    def payload_of(self, tid: int) -> Optional[object]:
+        """Read-only payload lookup by creating tid (None when absent).
+
+        Observational accessor for the sanitizers: returns the payload
+        object itself (records are immutable, so sharing is safe) without
+        exposing the Version wrapper.
+        """
+        for version in self.versions:
+            if version.tid == tid:
+                return version.payload
+        return None
+
     # -- writes (all return new records) -------------------------------------------
 
     def with_version(self, version: Version) -> "VersionedRecord":

@@ -110,6 +110,15 @@ class SnapshotDescriptor:
 
     # -- introspection -----------------------------------------------------------
 
+    def as_pair(self) -> Tuple[int, int]:
+        """Read-only ``(base, bits)`` view for external observers.
+
+        The sanitizers (:mod:`repro.san`) re-derive visibility from this
+        pair with their own bit math, so a bug in :meth:`contains` /
+        :meth:`latest_visible` cannot hide from its own checker.
+        """
+        return (self.base, self.bits)
+
     def newly_completed(self) -> List[int]:
         """The explicit members of N (completed tids above the base)."""
         out: List[int] = []

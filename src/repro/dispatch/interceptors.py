@@ -165,7 +165,13 @@ class TraceInterceptor(Interceptor):
         try:
             result = yield from next(request)
         except BaseException as exc:
-            trace.stats_for(name).errors += 1
+            stats = trace.stats_for(name)
+            stats.errors += 1
+            # Failed requests still count toward the per-class totals --
+            # an aborted transaction's requests must reconcile with the
+            # sanitizer shadow history, not vanish from the trace.  Only
+            # ``round_trips`` stays success-only.
+            stats.record(n_ops, size, ctx.clock.now - started)
             exc_name = exc.__class__.__name__
             trace.errors_by_type[exc_name] = (
                 trace.errors_by_type.get(exc_name, 0) + 1

@@ -561,6 +561,131 @@ manager's own tid-counter refill -- carry
                 )
 
 
+class RL009SanitizerMutation(Rule):
+    code = "RL009"
+    title = "sanitizer mutates protocol state"
+    explain = """\
+The sanitizers under repro.san are strictly *observational*: they watch
+the request stream, maintain their own shadow history, and must never
+change the run they are checking.  A sanitizer that mutates a protocol
+object -- assigning an attribute on a record/snapshot/transaction,
+or calling a mutating method on the store, commit manager, or a
+transaction -- silently perturbs the very interleaving under test and
+turns the checker into a heisenbug generator.  (It can also mask the bug
+being hunted: "fixing" a version chain before the axiom check runs.)
+
+RL009 fires inside the observer modules of repro.san (everything except
+the drivers: scenarios, explorer, __main__, which own their deployments)
+on:
+
+  * attribute assignment whose receiver chain ends in a protocol-object
+    name (`record`, `snapshot`, `txn`, `cluster`, `manager`, ...) and is
+    not rooted at `self`/`cls` -- includes `recv.attr[k] = v` stores;
+  * method calls on those receivers outside the read-only accessor
+    allow-list (`version_numbers`, `latest_visible`, `payload_of`,
+    `as_pair`, `contains`, `as_dict`, `active_transactions`,
+    `completed_view`, ...).
+
+Sanitizer-owned mutable state must therefore avoid protocol receiver
+names: shadow cells are `sc`, transaction views are `view`, the history
+is `shadow`.  Genuinely read-only uses that trip the name heuristic can
+carry `# repro-lint: ignore[RL009]` with a justification.
+"""
+
+    #: Modules where the observational contract is enforced.
+    OBSERVER_PACKAGE = "repro.san"
+    #: Driver modules inside the package: they *own* deployments and may
+    #: mutate protocol state freely (that is their job).
+    DRIVER_MODULES: Tuple[str, ...] = (
+        "repro.san.scenarios",
+        "repro.san.explorer",
+        "repro.san.__main__",
+    )
+
+    #: Receiver names that (by repo-wide convention) bind protocol
+    #: objects.  Final-attribute matching, same scheme as RL008.
+    _PROTOCOL_RECEIVERS = frozenset({
+        "record", "version", "cell", "snapshot", "descriptor",
+        "txn", "transaction", "start",
+        "cluster", "storage_cluster", "node", "storage_node", "store",
+        "manager", "commit_manager", "pn", "processing_node",
+        "btree", "tree", "index",
+        "request", "op", "ctx", "env",
+    })
+
+    #: Methods a sanitizer may call on protocol receivers: read-only
+    #: accessors (several added expressly for the sanitizers).
+    _READ_ONLY_METHODS = frozenset({
+        # records / versions
+        "version_numbers", "latest_visible", "payload_of", "get",
+        "collectable_versions", "fully_deleted", "approx_size",
+        # snapshots
+        "as_pair", "contains", "issubset",
+        # commit manager / gc
+        "active_transactions", "completed_view", "as_dict",
+        "local_lav", "lowest_active_version", "highest_known_tid",
+        "active_tids_of",
+        # misc read-only
+        "keys", "values", "items", "copy",
+    })
+
+    @staticmethod
+    def _root_name(node: ast.expr) -> Optional[str]:
+        while isinstance(node, (ast.Attribute, ast.Subscript)):
+            node = node.value
+        if isinstance(node, ast.Name):
+            return node.id
+        return None
+
+    def _flagged_receiver(self, node: ast.expr) -> Optional[str]:
+        """Receiver's final name if it matches a protocol object bound
+        outside the sanitizer itself (chains rooted at self/cls are the
+        sanitizer's own state)."""
+        receiver = RL008BypassedDispatch._receiver_name(node)
+        if receiver is None or receiver not in self._PROTOCOL_RECEIVERS:
+            return None
+        if self._root_name(node) in ("self", "cls"):
+            return None
+        return receiver
+
+    def check(self, module, tree, index):
+        name = module.module
+        if not in_packages(name, (self.OBSERVER_PACKAGE,)):
+            return
+        if name in self.DRIVER_MODULES:
+            return
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                targets = node.targets if isinstance(node, ast.Assign) \
+                    else [node.target]
+                for target in targets:
+                    while isinstance(target, ast.Subscript):
+                        target = target.value
+                    if not isinstance(target, ast.Attribute):
+                        continue
+                    receiver = self._flagged_receiver(target.value)
+                    if receiver is not None:
+                        yield node, (
+                            f"sanitizer module {name} assigns state on "
+                            f"protocol object `{receiver}`; sanitizers "
+                            f"are read-only observers"
+                        )
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if not isinstance(func, ast.Attribute):
+                    continue
+                if func.attr in self._READ_ONLY_METHODS:
+                    continue
+                receiver = self._flagged_receiver(func.value)
+                if receiver is not None:
+                    yield node, (
+                        f"sanitizer module {name} calls "
+                        f"`{receiver}.{func.attr}(...)`, which is not on "
+                        f"the read-only accessor allow-list; sanitizers "
+                        f"must not drive or mutate protocol objects"
+                    )
+
+
 ALL_RULES: List[Rule] = [
     RL001DroppedEffect(),
     RL002GeneratorNotDelegated(),
@@ -570,6 +695,7 @@ ALL_RULES: List[Rule] = [
     RL006MissingSlots(),
     RL007MutableDefault(),
     RL008BypassedDispatch(),
+    RL009SanitizerMutation(),
 ]
 
 RULES_BY_CODE = {rule.code: rule for rule in ALL_RULES}

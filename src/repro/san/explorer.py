@@ -1,0 +1,291 @@
+"""Schedule exploration: race detection by perturbing the sim kernel.
+
+The deterministic kernel fires same-time events in scheduling order, so
+one seed exercises exactly one interleaving.  The policies here plug
+into :class:`repro.sim.kernel.SchedulerPolicy` to explore others:
+
+* :class:`RandomJitterPolicy` -- randomizes the tie-break sequence of
+  same-timestamp events (and optionally jitters timestamps by a bounded
+  epsilon), a cheap sweep over "who wins the race to the store".
+* :class:`PCTPolicy` -- probabilistic concurrency testing: processes get
+  random priorities, with a small number of priority *change points*
+  mid-run.  PCT finds depth-d ordering bugs with known probability
+  bounds, which pure random sweeps lack.
+* :class:`ReplayPolicy` -- replays a recorded :class:`ScheduleTrace`
+  decision-for-decision, turning any failing exploration run back into
+  a deterministic reproducer (and enabling prefix minimization).
+
+:class:`ScheduleExplorer` drives a scenario (a callable taking a policy
+and returning the run's :class:`~repro.san.violations.ViolationLog`)
+through N schedules with the sanitizers on, records each failing
+schedule's trace, verifies it replays, and can minimize the trace to
+the shortest prefix that still reproduces a violation.
+
+Every policy records its decisions; recording costs one list append per
+event and only exists in explorer runs, never on the default sim path.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.sim.kernel import Process, SchedulerPolicy
+from repro.san.violations import ViolationLog
+
+#: seq values are ``(high << 32) | counter`` -- the counter keeps heap
+#: tuples globally unique, the high bits carry the perturbation.
+_SEQ_SHIFT = 32
+
+
+class ScheduleTrace:
+    """The full decision sequence of one explored schedule."""
+
+    __slots__ = ("decisions", "seed", "policy_name")
+
+    def __init__(self, seed: int, policy_name: str) -> None:
+        self.decisions: List[Tuple[float, int]] = []
+        self.seed = seed
+        self.policy_name = policy_name
+
+    def record(self, when: float, seq: int) -> None:
+        self.decisions.append((when, seq))
+
+    def prefix(self, length: int) -> "ScheduleTrace":
+        clipped = ScheduleTrace(self.seed, f"{self.policy_name}[:{length}]")
+        clipped.decisions = self.decisions[:length]
+        return clipped
+
+    def __len__(self) -> int:
+        return len(self.decisions)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "policy": self.policy_name,
+            "decisions": [list(pair) for pair in self.decisions],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ScheduleTrace":
+        trace = cls(data["seed"], data["policy"])
+        trace.decisions = [(when, seq) for when, seq in data["decisions"]]
+        return trace
+
+    def __repr__(self) -> str:
+        return (
+            f"<ScheduleTrace {self.policy_name} seed={self.seed} "
+            f"events={len(self.decisions)}>"
+        )
+
+
+class _RecordingPolicy(SchedulerPolicy):
+    """Base: every decision lands in ``self.trace`` for replay."""
+
+    name = "base"
+
+    def __init__(self, seed: int) -> None:
+        self.seed = seed
+        self.trace = ScheduleTrace(seed, self.name)
+        self._counter = 0
+
+    def _emit(self, when: float, seq: int) -> Tuple[float, int]:
+        self.trace.record(when, seq)
+        return when, seq
+
+    def _tick(self) -> int:
+        counter = self._counter
+        self._counter += 1
+        return counter
+
+
+class RandomJitterPolicy(_RecordingPolicy):
+    """Seeded random perturbation of same-time event ordering.
+
+    ``time_jitter`` > 0 additionally delays each *process resume* by a
+    uniform amount in ``[0, time_jitter)`` microseconds, perturbing when
+    each worker issues its next request -- the razor for races the
+    tie-break shuffle alone cannot reach.  Plain ``call_at`` callbacks
+    (the fabric's state mutations) are never time-shifted: a response
+    resume delayed past its own state application is harmless, but an
+    application delayed past its response would hand drivers unwritten
+    result slots.
+    """
+
+    name = "random"
+
+    def __init__(self, seed: int, time_jitter: float = 0.0) -> None:
+        super().__init__(seed)
+        self._rng = random.Random(seed)
+        self.time_jitter = time_jitter
+
+    def on_schedule(self, when: float, now: float,
+                    process: Optional[Process]) -> Tuple[float, int]:
+        if self.time_jitter > 0.0 and process is not None:
+            when = when + self._rng.random() * self.time_jitter
+        seq = (self._rng.randrange(1 << 20) << _SEQ_SHIFT) | self._tick()
+        return self._emit(when, seq)
+
+
+class PCTPolicy(_RecordingPolicy):
+    """Probabilistic concurrency testing (priority schedules).
+
+    Each process draws a random priority on first sight; same-time
+    events fire highest-priority-first (lower value pops earlier).  At
+    ``change_points`` randomly chosen event indices the scheduling
+    process's priority drops to a fresh minimum, which is what lets PCT
+    hit bugs needing d specific ordering decisions.  Plain ``call_at``
+    callbacks (fabric state mutations) keep a fixed middle priority so
+    store state still advances in arrival order.
+    """
+
+    name = "pct"
+
+    _CALLBACK_PRIORITY = 1 << 15
+
+    def __init__(self, seed: int, change_points: int = 2,
+                 horizon: int = 4096) -> None:
+        super().__init__(seed)
+        self._rng = random.Random(seed)
+        self._priorities: Dict[int, int] = {}
+        self._demote_at = sorted(
+            self._rng.randrange(horizon) for _ in range(change_points)
+        )
+        self._demotions = 0
+
+    def _priority_of(self, process: Process) -> int:
+        key = id(process)
+        priority = self._priorities.get(key)
+        if priority is None:
+            priority = self._rng.randrange(1 << 14)
+            self._priorities[key] = priority
+        return priority
+
+    def on_schedule(self, when: float, now: float,
+                    process: Optional[Process]) -> Tuple[float, int]:
+        counter = self._tick()
+        if process is None:
+            priority = self._CALLBACK_PRIORITY
+        else:
+            while (self._demotions < len(self._demote_at)
+                   and counter >= self._demote_at[self._demotions]):
+                # change point: the currently scheduling process sinks
+                self._priorities[id(process)] = (1 << 16) + self._demotions
+                self._demotions += 1
+            priority = self._priority_of(process)
+        seq = (priority << _SEQ_SHIFT) | counter
+        return self._emit(when, seq)
+
+
+class ReplayPolicy(SchedulerPolicy):
+    """Replays a recorded trace decision-for-decision.
+
+    The program under a replayed schedule makes the same scheduling
+    calls in the same order (the schedule fully determines the sim), so
+    handing back the recorded ``(when, seq)`` pairs reproduces the run
+    bit-for-bit.  Past the end of the trace (minimized prefixes) it
+    falls back to FIFO with sequence numbers above every recorded one,
+    so the tail is deterministic too.
+    """
+
+    def __init__(self, trace: ScheduleTrace) -> None:
+        self.trace = trace
+        self._cursor = 0
+        top = max((seq for _w, seq in trace.decisions), default=0)
+        self._fallback_seq = top + 1
+        self.diverged = False
+
+    def on_schedule(self, when: float, now: float,
+                    process: Optional[Process]) -> Tuple[float, int]:
+        decisions = self.trace.decisions
+        if self._cursor < len(decisions):
+            recorded_when, seq = decisions[self._cursor]
+            self._cursor += 1
+            if recorded_when < now:
+                # The run diverged from the recording (different code
+                # under test): keep the contract, note the divergence.
+                self.diverged = True
+                recorded_when = now
+            return recorded_when, seq
+        seq = self._fallback_seq
+        self._fallback_seq += 1
+        return when, seq
+
+
+#: A scenario takes a scheduler policy (or None for the FIFO baseline),
+#: runs one simulated conflict workload with sanitizers attached, and
+#: returns the run's violation log.
+Scenario = Callable[[Optional[SchedulerPolicy]], ViolationLog]
+
+
+class FailingSchedule:
+    """One schedule that produced sanitizer violations."""
+
+    __slots__ = ("trace", "codes", "summary")
+
+    def __init__(self, trace: ScheduleTrace, log: ViolationLog) -> None:
+        self.trace = trace
+        self.codes = log.codes()
+        self.summary = log.summary()
+
+    def __repr__(self) -> str:
+        return f"<FailingSchedule {self.trace.policy_name} " \
+               f"seed={self.trace.seed} codes={self.codes}>"
+
+
+class ScheduleExplorer:
+    """Drive a scenario through N perturbed schedules, sanitizers on."""
+
+    def __init__(self, scenario: Scenario, schedules: int = 20,
+                 seed: int = 0, time_jitter: float = 2.0) -> None:
+        self.scenario = scenario
+        self.schedules = schedules
+        self.seed = seed
+        self.time_jitter = time_jitter
+        self.failures: List[FailingSchedule] = []
+        self.runs = 0
+
+    def _policy_for(self, index: int) -> _RecordingPolicy:
+        run_seed = self.seed * 100_003 + index
+        if index % 2 == 0:
+            return RandomJitterPolicy(run_seed, time_jitter=self.time_jitter)
+        return PCTPolicy(run_seed)
+
+    def run(self) -> List[FailingSchedule]:
+        """Explore; returns (and stores) the failing schedules found."""
+        self.failures = []
+        for index in range(self.schedules):
+            policy = self._policy_for(index)
+            log = self.scenario(policy)
+            self.runs += 1
+            if not log.clean:
+                self.failures.append(FailingSchedule(policy.trace, log))
+        return self.failures
+
+    def replay(self, failure: FailingSchedule) -> ViolationLog:
+        """Re-run a failing schedule from its recorded trace."""
+        return self.scenario(ReplayPolicy(failure.trace))
+
+    def minimize(self, failure: FailingSchedule) -> ScheduleTrace:
+        """Shortest trace prefix that still reproduces a violation.
+
+        Bisects on the prefix length (re-running the scenario under a
+        prefix replay each probe), then verifies the result; returns the
+        full trace unchanged if even it no longer reproduces.
+        """
+        full = failure.trace
+
+        def fails(length: int) -> bool:
+            log = self.scenario(ReplayPolicy(full.prefix(length)))
+            return not log.clean
+
+        if not fails(len(full)):
+            return full
+        low, high = 0, len(full)  # fails(high) holds
+        while low < high:
+            mid = (low + high) // 2
+            if fails(mid):
+                high = mid
+            else:
+                low = mid + 1
+        return full.prefix(high)

@@ -153,6 +153,33 @@ class SimClock:
         return self._sim.now
 
 
+class SchedulerPolicy:
+    """Pluggable perturbation of the kernel's scheduling decisions.
+
+    Every event pushed onto the heap carries ``(when, seq)``; by default
+    ``seq`` is a monotonically increasing counter, which makes same-time
+    events fire in scheduling order (FIFO).  A policy may move ``when``
+    forward and/or replace ``seq`` to explore alternative interleavings
+    of the same program -- the schedule-exploration race detector in
+    :mod:`repro.san` builds its random/PCT/replay schedules on this hook.
+
+    Contract: the returned ``when`` must be ``>= now`` (events cannot fire
+    in the past) and the returned ``seq`` must be unique per simulator
+    (heap tuples must never compare equal in their first two fields).
+    A policy that also records its decisions can later replay a run
+    deterministically by returning the recorded pairs verbatim.
+    """
+
+    def on_schedule(self, when: float, now: float,
+                    process: Optional["Process"]) -> Tuple[float, int]:
+        """Decide ``(when, seq)`` for one event.
+
+        ``process`` is the resuming process, or ``None`` for a plain
+        ``call_at`` callback (state mutations in the simulated fabric).
+        """
+        raise NotImplementedError
+
+
 class Simulator:
     """The discrete-event scheduler.
 
@@ -161,13 +188,18 @@ class Simulator:
         sim = Simulator()
         sim.spawn(worker(), name="worker-0")
         sim.run(until=1_000_000.0)   # one simulated second
+
+    ``policy`` (default ``None``) perturbs scheduling decisions for race
+    exploration; the ``None`` path is byte-identical to the historical
+    behaviour and stays on the hot path's single-branch fast exit.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, policy: Optional[SchedulerPolicy] = None) -> None:
         self.now: float = 0.0
         self._queue: List[Tuple[float, int, Optional[Process], Any]] = []
         self._next_seq = itertools.count().__next__
         self._stopped = False
+        self._policy = policy
 
     # -- scheduling ------------------------------------------------------
 
@@ -178,9 +210,12 @@ class Simulator:
         return process
 
     def _schedule(self, delay: float, process: Process, value: Any) -> None:
-        heapq.heappush(
-            self._queue, (self.now + delay, self._next_seq(), process, value)
-        )
+        when = self.now + delay
+        if self._policy is None:
+            seq = self._next_seq()
+        else:
+            when, seq = self._policy.on_schedule(when, self.now, process)
+        heapq.heappush(self._queue, (when, seq, process, value))
 
     def call_at(self, when: float, callback: Callable[[], None]) -> None:
         """Run a plain callback at absolute simulated time ``when``.
@@ -188,9 +223,12 @@ class Simulator:
         Callbacks are scheduled directly on the event heap (no Process
         wrapper) -- they are the fabric's hot path.
         """
-        heapq.heappush(
-            self._queue, (max(when, self.now), self._next_seq(), None, callback)
-        )
+        when = max(when, self.now)
+        if self._policy is None:
+            seq = self._next_seq()
+        else:
+            when, seq = self._policy.on_schedule(when, self.now, None)
+        heapq.heappush(self._queue, (when, seq, None, callback))
 
     def event(self) -> Event:
         return Event(self)

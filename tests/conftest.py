@@ -48,9 +48,23 @@ def interleave(router, generators):
     This produces adversarial interleavings at every request boundary --
     the direct-mode analogue of concurrent PNs racing on shared state.
     Returns the list of results (StopIteration values) in input order.
+
+    With interceptors configured, each coroutine gets its own router
+    clone (sharing the same interceptor instances): stateful middleware
+    such as the ``repro.san`` sanitizers attribute requests to logical
+    workers by dispatch context, and a shared context would fold every
+    interleaved transaction into one.
     """
     from repro.errors import TellError
 
+    routers = [router] * len(generators)
+    if router.interceptors:
+        routers = [
+            type(router)(router.cluster, router.commit_manager,
+                         pn_id=router.pn_id,
+                         interceptors=router.interceptors)
+            for _ in generators
+        ]
     states = [(i, gen, None, None) for i, gen in enumerate(generators)]
     results = [None] * len(generators)
     errors = [None] * len(generators)
@@ -70,7 +84,7 @@ def interleave(router, generators):
                 errors[index] = error
                 continue
             try:
-                outcome = router.execute(request)
+                outcome = routers[index].execute(request)
                 next_round.append((index, gen, outcome, None))
             except TellError as error:
                 next_round.append((index, gen, None, error))

@@ -468,6 +468,78 @@ class TestRL008:
         """) == []
 
 
+# ---------------------------------------------------------------------------
+# RL009 -- sanitizer mutates protocol state
+# ---------------------------------------------------------------------------
+
+
+class TestRL009:
+    def test_attribute_assignment_on_record_fires(self):
+        assert codes("""
+            def observe(self, record):
+                record.versions = ()
+        """, module="repro.san.si") == ["RL009"]
+
+    def test_subscript_store_on_protocol_attr_fires(self):
+        assert codes("""
+            def observe(self, txn, key):
+                txn.index_ops[0] = None
+        """, module="repro.san.gcsan") == ["RL009"]
+
+    def test_mutating_method_call_fires(self):
+        assert codes("""
+            def observe(self, manager, tid):
+                manager.set_committed(tid)
+        """, module="repro.san.si") == ["RL009"]
+
+    def test_driving_a_transaction_fires(self):
+        assert codes("""
+            def observe(self, txn):
+                txn.commit()
+        """, module="repro.san.chain") == ["RL009"]
+
+    def test_read_only_accessors_are_clean(self):
+        assert codes("""
+            def observe(self, record, snapshot, manager):
+                tids = record.version_numbers()
+                latest = record.latest_visible(snapshot)
+                base, bits = snapshot.as_pair()
+                active = manager.active_transactions()
+                return tids, latest, base, bits, active
+        """, module="repro.san.si") == []
+
+    def test_own_state_and_shadow_names_are_clean(self):
+        assert codes("""
+            def observe(self, view, sc, key):
+                self.records_checked += 1
+                self.shadow.cells[key] = sc
+                view.reads[key] = 3
+                sc.cell_version = 4
+        """, module="repro.san.si") == []
+
+    def test_driver_modules_are_exempt(self):
+        source = """
+            def drive(txn, manager, tid):
+                txn.commit()
+                manager.set_committed(tid)
+        """
+        assert codes(source, module="repro.san.scenarios") == []
+        assert codes(source, module="repro.san.explorer") == []
+        assert codes(source, module="repro.san.__main__") == []
+
+    def test_outside_san_is_exempt(self):
+        assert codes("""
+            def apply(record):
+                record.versions = ()
+        """, module="repro.core.transaction") == []
+
+    def test_inline_suppression(self):
+        assert codes("""
+            def observe(self, record):
+                record.warm_cache()  # repro-lint: ignore[RL009] read-only
+        """, module="repro.san.si") == []
+
+
 class TestEngine:
     def test_skip_file(self):
         assert codes("""

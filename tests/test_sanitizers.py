@@ -1,0 +1,282 @@
+"""Tests for the ``repro.san`` sanitizer + schedule-exploration package.
+
+Three layers:
+
+* the kernel's :class:`~repro.sim.kernel.SchedulerPolicy` hook -- the
+  ``None`` path keeps the historical FIFO order, a policy can reorder
+  same-time events, and a recorded trace replays bit-for-bit;
+* the scenarios run *clean* against the healthy tree (the sanitizers
+  must not cry wolf), with write-skew surfaced as a report;
+* seeded mutations -- a broken store-conditional, a GC that ignores the
+  lowest active version, and a broken visibility rule -- must each trip
+  their sanitizer under the explorer, and every failing schedule must
+  replay deterministically (plus minimize to a failing prefix).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.record import VersionedRecord
+from repro.dispatch import DispatchContext, compose, drive_sync
+from repro.dispatch.interceptors import TraceInterceptor
+from repro.errors import KeyNotFound
+from repro.san.explorer import (
+    PCTPolicy,
+    RandomJitterPolicy,
+    ReplayPolicy,
+    ScheduleExplorer,
+    ScheduleTrace,
+)
+from repro.san.scenarios import SCENARIOS, gc_pressure, lost_update, write_skew
+from repro.sim.kernel import Delay, SchedulerPolicy, Simulator
+from repro.store.cell import Cell, approx_size
+from repro.store.node import StorageNode
+from repro import effects
+
+
+# -- kernel scheduler-policy hook ----------------------------------------
+
+
+def _ordering_program(sim, order, n=4):
+    def proc(tag):
+        yield Delay(10.0)  # all resumes land on the same timestamp
+        order.append(tag)
+
+    for i in range(n):
+        sim.spawn(proc(i), name=f"p{i}")
+
+
+class TestSchedulerPolicy:
+    def test_none_policy_is_fifo(self):
+        order = []
+        sim = Simulator()
+        _ordering_program(sim, order)
+        sim.run()
+        assert order == [0, 1, 2, 3]
+
+    def test_policy_can_reorder_same_time_events(self):
+        class HighestNameFirst(SchedulerPolicy):
+            """Same-time events fire in descending process-name order."""
+
+            def __init__(self):
+                self.counter = 0
+
+            def on_schedule(self, when, now, process):
+                self.counter += 1
+                rank = 99 if process is None else 9 - int(process.name[1:])
+                return when, (rank << 32) | self.counter
+
+        order = []
+        sim = Simulator(policy=HighestNameFirst())
+        _ordering_program(sim, order)
+        sim.run()
+        assert order == [3, 2, 1, 0]
+
+    def test_policy_never_fires_events_in_the_past(self):
+        fired_at = []
+        sim = Simulator(policy=RandomJitterPolicy(seed=5, time_jitter=3.0))
+
+        def proc():
+            for _ in range(5):
+                yield Delay(1.0)
+                fired_at.append(sim.now)
+
+        sim.spawn(proc())
+        sim.run()
+        assert fired_at == sorted(fired_at)
+        assert all(t >= 1.0 for t in fired_at)
+
+    def test_random_policies_differ_and_replay_matches(self):
+        def run(policy):
+            order = []
+            sim = Simulator(policy=policy)
+            _ordering_program(sim, order, n=6)
+            sim.run()
+            return order
+
+        recording = RandomJitterPolicy(seed=3)
+        shuffled = run(recording)
+        assert sorted(shuffled) == list(range(6))
+        assert run(ReplayPolicy(recording.trace)) == shuffled
+
+        pct = PCTPolicy(seed=3)
+        prioritized = run(pct)
+        assert sorted(prioritized) == list(range(6))
+        assert run(ReplayPolicy(pct.trace)) == prioritized
+
+    def test_replay_past_trace_end_is_deterministic(self):
+        recording = RandomJitterPolicy(seed=9)
+        order = []
+        sim = Simulator(policy=recording)
+        _ordering_program(sim, order, n=4)
+        sim.run()
+
+        def run_prefix(length):
+            tail_order = []
+            sim = Simulator(policy=ReplayPolicy(recording.trace.prefix(length)))
+            _ordering_program(sim, tail_order, n=4)
+            sim.run()
+            return tail_order
+
+        assert run_prefix(2) == run_prefix(2)
+
+    def test_trace_round_trips_through_dict(self):
+        trace = ScheduleTrace(7, "random")
+        trace.record(1.0, 42)
+        trace.record(2.5, 99)
+        clone = ScheduleTrace.from_dict(trace.to_dict())
+        assert clone.decisions == trace.decisions
+        assert clone.seed == 7
+
+
+# -- healthy tree: scenarios stay clean ----------------------------------
+
+
+class TestHealthyScenarios:
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_baseline_schedule_is_clean(self, name):
+        log = SCENARIOS[name](None)
+        assert log.clean, log.summary()
+
+    def test_write_skew_is_reported_not_failed(self):
+        log = write_skew(None)
+        assert log.clean
+        assert any(r.code == "SSI-WRITE-SKEW" for r in log.reports)
+
+    def test_explorer_finds_no_failures_on_healthy_tree(self):
+        explorer = ScheduleExplorer(lost_update, schedules=4, seed=1)
+        assert explorer.run() == []
+        assert explorer.runs == 4
+
+
+# -- seeded mutations: each must trip its sanitizer ----------------------
+
+
+def _broken_put_if_version(self, partition_id, space, key, value,
+                           expected_version):
+    """do_put_if_version with the version check deleted: last writer
+    wins unconditionally, the classic lost-update bug."""
+    self._check_alive()
+    store = self.partition(partition_id)
+    cells = store.space(space)
+    cell = cells.get(key)
+    if cell is None:
+        self._charge(store, approx_size(value) + approx_size(key))
+        cells[key] = Cell(value, 1)
+        store.invalidate_scan_cache(space)
+        return (True, 1), 16
+    self._charge(store, approx_size(value) - approx_size(cell.value))
+    cell.value = value
+    cell.version += 1
+    return (True, cell.version), 16
+
+
+def _broken_collectable_versions(self, lav):
+    """collectable_versions that ignores the lowest active version:
+    prunes every version but the newest, yanking data from under open
+    snapshots."""
+    candidates = [v.tid for v in self.versions]
+    if len(candidates) <= 1:
+        return []
+    newest = max(candidates)
+    return [tid for tid in candidates if tid != newest]
+
+
+def _broken_latest_visible(self, snapshot):
+    """latest_visible that returns the newest version regardless of the
+    snapshot: dirty reads of concurrent committers."""
+    return self.versions[0] if self.versions else None
+
+
+def _explore_with_replay(scenario, schedules=2):
+    """Run the explorer, assert it found failures, and check every
+    failing trace replays to (at least) an overlapping violation set."""
+    explorer = ScheduleExplorer(scenario, schedules=schedules, seed=0)
+    failures = explorer.run()
+    assert failures, "mutation was not detected by any explored schedule"
+    for failure in failures:
+        replayed = explorer.replay(failure)
+        assert not replayed.clean
+        assert set(failure.codes) & set(replayed.codes()), (
+            f"replay of {failure!r} lost the violation: "
+            f"{failure.codes} vs {replayed.codes()}"
+        )
+    return explorer, failures
+
+
+class TestSeededMutations:
+    def test_broken_store_conditional_trips_si_sanitizer(self, monkeypatch):
+        monkeypatch.setattr(
+            StorageNode, "do_put_if_version", _broken_put_if_version
+        )
+        baseline = lost_update(None)
+        assert not baseline.clean
+        assert set(baseline.codes()) & {
+            "SI-LOST-UPDATE", "SI-STALE-SC", "SCN-COUNTER"
+        }
+        explorer, failures = _explore_with_replay(lost_update)
+        # The shortest failing prefix must itself still fail.
+        minimal = explorer.minimize(failures[0])
+        assert len(minimal) <= len(failures[0].trace)
+        assert not explorer.scenario(ReplayPolicy(minimal)).clean
+
+    def test_broken_gc_trips_gc_sanitizer(self, monkeypatch):
+        monkeypatch.setattr(
+            VersionedRecord, "collectable_versions",
+            _broken_collectable_versions,
+        )
+        baseline = gc_pressure(None)
+        assert not baseline.clean
+        assert set(baseline.codes()) & {
+            "GC-ABOVE-LAV", "GC-LIVE-SNAPSHOT", "SCN-SNAPSHOT-LOST"
+        }
+        _explore_with_replay(gc_pressure)
+
+    def test_broken_visibility_trips_read_check(self, monkeypatch):
+        monkeypatch.setattr(
+            VersionedRecord, "latest_visible", _broken_latest_visible
+        )
+        baseline = gc_pressure(None)
+        assert not baseline.clean
+        assert "SI-READ" in baseline.codes()
+        _explore_with_replay(gc_pressure)
+
+
+# -- TraceInterceptor error path (regression) ----------------------------
+
+
+class TestTraceErrorPath:
+    def test_errored_requests_still_counted(self):
+        interceptor = TraceInterceptor()
+        ctx = DispatchContext(pn_id=0)
+
+        def tail(request):
+            raise KeyNotFound(request.key)
+            yield  # pragma: no cover - makes tail a generator function
+
+        chain = compose([interceptor], tail, ctx)
+        with pytest.raises(KeyNotFound):
+            drive_sync(chain(effects.Get("data", 7)))
+
+        trace = interceptor.trace
+        stats = trace.per_class["Get"]
+        assert stats.count == 1  # failed requests reconcile with shadow
+        assert stats.errors == 1
+        assert stats.bytes > 0
+        assert trace.errors_by_type == {"KeyNotFound": 1}
+        assert trace.round_trips == 0  # round trips stay success-only
+
+    def test_success_path_unchanged(self):
+        interceptor = TraceInterceptor()
+        ctx = DispatchContext(pn_id=0)
+
+        def tail(request):
+            return ((1,), 1)
+            yield  # pragma: no cover
+
+        chain = compose([interceptor], tail, ctx)
+        assert drive_sync(chain(effects.Get("data", 7))) == ((1,), 1)
+        trace = interceptor.trace
+        assert trace.round_trips == 1
+        assert trace.per_class["Get"].errors == 0

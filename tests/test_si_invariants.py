@@ -20,21 +20,45 @@ from repro.api.runner import DirectRunner, Router
 from repro.core.commit_manager import CommitManager
 from repro.core.processing_node import ProcessingNode
 from repro.core.spaces import data_key
+from repro.san import make_sanitizers, sanitizers_enabled
 from repro.store.cluster import StorageCluster
 from tests.conftest import interleave
 
 PAIR_A = data_key(1, 1)
 PAIR_B = data_key(1, 2)
 
+#: ViolationLogs of every sanitized fresh_env built during the current
+#: test, drained (and asserted clean) by the autouse fixture below.
+_SANITIZER_LOGS = []
+
 
 def fresh_env(n_pns=2):
+    """Build a cluster + CM + PNs; with ``REPRO_SANITIZE=1`` every
+    runner carries the SI/GC/version-chain sanitizer chain."""
     cluster = StorageCluster(n_nodes=3)
     cm = CommitManager(0, cluster.execute, tid_range_size=8)
     pns = [ProcessingNode(i) for i in range(n_pns)]
+    chain = ()
+    if sanitizers_enabled():
+        log, chain = make_sanitizers()
+        _SANITIZER_LOGS.append(log)
     runners = [
-        DirectRunner(Router(cluster, cm, pn_id=i)) for i in range(n_pns)
+        DirectRunner(Router(cluster, cm, pn_id=i, interceptors=chain))
+        for i in range(n_pns)
     ]
     return cluster, cm, pns, runners
+
+
+@pytest.fixture(autouse=True)
+def _sanitizers_stay_clean():
+    """Every test in this module doubles as a sanitizer soak when
+    ``REPRO_SANITIZE=1``: the invariant checkers must agree that the
+    interleavings they watched were serializable-snapshot clean."""
+    _SANITIZER_LOGS.clear()
+    yield
+    for log in _SANITIZER_LOGS:
+        log.assert_clean()
+    _SANITIZER_LOGS.clear()
 
 
 def seed_pair(pn, runner):
