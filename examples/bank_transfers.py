@@ -12,8 +12,8 @@ Run with:  python examples/bank_transfers.py
 
 import random
 
+import repro
 from repro import effects
-from repro.api import Database
 from repro.core.recovery import recover_processing_node
 from repro.core.spaces import data_key
 from repro.core.txlog import TransactionLog
@@ -41,16 +41,19 @@ def transfer_logic(source_key, target_key, amount):
 
 
 def main() -> None:
-    db = Database(storage_nodes=3, replication_factor=2)
+    with repro.connect(storage_nodes=3, replication_factor=2) as db:
+        _run(db)
+
+
+def _run(db) -> None:
     table_id = 1
     keys = [data_key(table_id, i) for i in range(N_ACCOUNTS)]
 
     # Open accounts.
     setup = db.session()
-    setup.begin()
-    for key in keys:
-        setup._txn.insert(key, (INITIAL_BALANCE,))
-    setup.commit()
+    with setup.transaction() as txn:
+        for key in keys:
+            txn.insert(key, (INITIAL_BALANCE,))
     print(f"opened {N_ACCOUNTS} accounts with {INITIAL_BALANCE} each")
 
     # Two processing nodes hammer the accounts with transfers.
@@ -75,11 +78,10 @@ def main() -> None:
 
     # Invariant: money is conserved.
     check = db.session()
-    check.begin()
     runner = db._runners[check.pn.pn_id]
-    balances = runner.run(check._txn.read_many(keys))
-    total = sum(balance[0] for balance in balances.values())
-    check.commit()
+    with check.transaction() as txn:
+        balances = runner.run(txn.read_many(keys))
+        total = sum(balance[0] for balance in balances.values())
     print(f"total balance: {total} (expected {N_ACCOUNTS * INITIAL_BALANCE})")
     assert total == N_ACCOUNTS * INITIAL_BALANCE
 
@@ -107,11 +109,10 @@ def main() -> None:
     print(f"  recovery rolled back tids: {rolled_back}")
 
     check2 = db.session()
-    check2.begin()
     runner2 = db._runners[check2.pn.pn_id]
-    balances = runner2.run(check2._txn.read_many(keys))
-    total = sum(balance[0] for balance in balances.values())
-    check2.commit()
+    with check2.transaction() as txn:
+        balances = runner2.run(txn.read_many(keys))
+        total = sum(balance[0] for balance in balances.values())
     print(f"  total balance after recovery: {total}")
     assert total == N_ACCOUNTS * INITIAL_BALANCE
 

@@ -12,11 +12,15 @@ for (Section 2.1):
 Run with:  python examples/elasticity_failover.py
 """
 
-from repro.api import Database
+import repro
 
 
 def main() -> None:
-    db = Database(storage_nodes=4, replication_factor=2)
+    with repro.connect(storage_nodes=4, replication_factor=2) as db:
+        _run(db)
+
+
+def _run(db) -> None:
     session = db.session()
     session.execute(
         "CREATE TABLE events (id INT PRIMARY KEY, source TEXT, value INT)"

@@ -12,11 +12,15 @@ Run with:  python examples/mixed_workload.py
 
 import random
 
-from repro.api import Database
+import repro
 
 
 def main() -> None:
-    db = Database(storage_nodes=3, replication_factor=1)
+    with repro.connect(storage_nodes=3, replication_factor=1) as db:
+        _run(db)
+
+
+def _run(db) -> None:
     oltp = db.session()
     oltp.execute(
         "CREATE TABLE orders ("
@@ -61,11 +65,10 @@ def main() -> None:
 
     # Analytical snapshot consistency: inside one transaction, repeated
     # aggregates agree even while OLTP keeps writing.
-    analyst.execute("BEGIN")
-    before = analyst.query("SELECT SUM(amount) AS s FROM orders")[0]["s"]
-    place_orders(25)  # concurrent OLTP writes
-    after = analyst.query("SELECT SUM(amount) AS s FROM orders")[0]["s"]
-    analyst.execute("COMMIT")
+    with analyst.transaction():
+        before = analyst.query("SELECT SUM(amount) AS s FROM orders")[0]["s"]
+        place_orders(25)  # concurrent OLTP writes
+        after = analyst.query("SELECT SUM(amount) AS s FROM orders")[0]["s"]
     print(f"\nanalyst snapshot stable under concurrent OLTP: "
           f"{before:,.2f} == {after:,.2f} -> {before == after}")
 

@@ -7,13 +7,17 @@ processing nodes, and walks through DDL, DML, transactions, and joins.
 Run with:  python examples/quickstart.py
 """
 
-from repro.api import Database
+import repro
 from repro.errors import TransactionAborted
 
 
 def main() -> None:
     # A full deployment in one process: storage cluster + commit manager.
-    db = Database(storage_nodes=3, replication_factor=2)
+    with repro.connect(storage_nodes=3, replication_factor=2) as db:
+        _run(db)
+
+
+def _run(db) -> None:
     session = db.session()
 
     # --- DDL ---------------------------------------------------------------
@@ -55,11 +59,10 @@ def main() -> None:
 
     # --- Transactions ------------------------------------------------------
     print("\nSelling two espresso machines transactionally...")
-    session.execute("BEGIN")
-    session.execute("UPDATE products SET stock = stock - 2 WHERE sku = 1")
-    stock = session.query("SELECT stock FROM products WHERE sku = 1")
-    print(f"  stock inside the transaction: {stock[0]['stock']}")
-    session.execute("COMMIT")
+    with session.transaction():  # commits on clean exit, rolls back on error
+        session.execute("UPDATE products SET stock = stock - 2 WHERE sku = 1")
+        stock = session.query("SELECT stock FROM products WHERE sku = 1")
+        print(f"  stock inside the transaction: {stock[0]['stock']}")
 
     # --- Shared data: any processing node sees everything -------------------
     other = db.session()  # a brand-new database instance, zero setup cost

@@ -7,6 +7,7 @@ entry point for the examples and for applications that want Tell's
 semantics without the simulation harness.
 """
 
+from repro.api.config import DatabaseConfig
 from repro.api.runner import DirectRunner, Router
 
 
@@ -17,7 +18,11 @@ def __getattr__(name):
         from repro.api.database import Database
 
         return Database
+    if name == "connect":
+        from repro.api.database import connect
+
+        return connect
     raise AttributeError(name)
 
 
-__all__ = ["Database", "DirectRunner", "Router"]
+__all__ = ["Database", "DatabaseConfig", "DirectRunner", "Router", "connect"]

@@ -7,19 +7,20 @@ simulation uses -- only the driver differs (direct, zero-latency).
 
 Example::
 
-    from repro.api import Database
+    import repro
 
-    db = Database(storage_nodes=3, replication_factor=2)
-    session = db.session()
-    session.execute("CREATE TABLE t (id INT PRIMARY KEY, v TEXT)")
-    session.execute("INSERT INTO t VALUES (1, 'hello')")
-    print(session.query("SELECT v FROM t WHERE id = 1"))
+    with repro.connect(storage_nodes=3, replication_factor=2) as db:
+        with db.session() as session:
+            session.execute("CREATE TABLE t (id INT PRIMARY KEY, v TEXT)")
+            session.execute("INSERT INTO t VALUES (1, 'hello')")
+            print(session.query("SELECT v FROM t WHERE id = 1"))
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Optional
 
+from repro.api.config import DatabaseConfig
 from repro.api.runner import DirectRunner, Router
 from repro.core.buffers import make_strategy
 from repro.core.commit_manager import CommitManager
@@ -34,43 +35,87 @@ from repro.store.management import ManagementNode
 
 
 class Database:
-    """An embedded shared-data database."""
+    """An embedded shared-data database.
 
-    def __init__(
-        self,
-        storage_nodes: int = 3,
-        replication_factor: int = 1,
-        commit_managers: int = 1,
-        buffering: str = "tb",
-        tid_range_size: int = 256,
-        interleaved_tids: bool = False,
-        partitions_per_node: int = 8,
-    ):
-        if commit_managers < 1:
-            raise InvalidState("need at least one commit manager")
+    Construct either from a validated :class:`DatabaseConfig` (the
+    :func:`repro.connect` front door) or with the same fields as
+    keyword arguments -- the keyword form builds a config internally,
+    so validation happens in exactly one place.
+    """
+
+    def __init__(self, config: Optional[DatabaseConfig] = None, **kwargs: object):
+        if config is not None and kwargs:
+            raise InvalidState(
+                "pass either a DatabaseConfig or keyword arguments, not both"
+            )
+        if config is None:
+            config = DatabaseConfig(**kwargs)  # type: ignore[arg-type]
+        self.config = config
         self.cluster = StorageCluster(
-            n_nodes=storage_nodes,
-            replication_factor=replication_factor,
-            partitions_per_node=partitions_per_node,
+            n_nodes=config.storage_nodes,
+            replication_factor=config.replication_factor,
+            partitions_per_node=config.partitions_per_node,
         )
         self.management = ManagementNode(self.cluster)
         self.commit_managers: List[CommitManager] = [
             CommitManager(
-                cm_id, self.cluster.execute, tid_range_size,
-                interleaved=interleaved_tids, n_managers=commit_managers,
+                cm_id, self.cluster.execute, config.tid_range_size,
+                interleaved=config.interleaved_tids,
+                n_managers=config.commit_managers,
             )
-            for cm_id in range(commit_managers)
+            for cm_id in range(config.commit_managers)
         ]
-        self.buffering = buffering
+        self.buffering = config.buffering
         self._next_pn_id = 0
         self.processing_nodes: Dict[int, ProcessingNode] = {}
         self._runners: Dict[int, DirectRunner] = {}
+        self._closed = False
+        self.obs = self._make_obs()
+
+    def _make_obs(self):
+        from repro import obs as obs_module
+
+        if not (self.config.observability or obs_module.obs_enabled()):
+            return None
+        from repro.obs import collect
+
+        hub = obs_module.Observability()
+        collect.watch_storage_cluster(hub.registry, self.cluster)
+        for manager in self.commit_managers:
+            collect.watch_commit_manager(hub.registry, manager)
+        return hub
+
+    # -- lifecycle ----------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release the deployment: detach PNs and refuse new sessions.
+
+        Idempotent.  The underlying storage structures stay readable for
+        anyone still holding a reference, but :meth:`session` raises.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self.processing_nodes.clear()
+        self._runners.clear()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __enter__(self) -> "Database":
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        self.close()
 
     # -- processing layer elasticity -------------------------------------------------
 
     def add_processing_node(self) -> ProcessingNode:
         """Attach a new PN (the shared-data architecture's cheap scaling
         step: no data movement, just a new instance)."""
+        if self._closed:
+            raise InvalidState("database is closed")
         pn_id = self._next_pn_id
         self._next_pn_id += 1
         pn = ProcessingNode(pn_id, buffers=make_strategy(self.buffering))
@@ -78,6 +123,11 @@ class Database:
         router = Router(self.cluster, commit_manager, pn_id)
         self.processing_nodes[pn_id] = pn
         self._runners[pn_id] = DirectRunner(router)
+        if self.obs is not None:
+            from repro.obs import collect
+
+            pn.obs = self.obs
+            collect.watch_processing_node(self.obs.registry, pn)
         return pn
 
     def remove_processing_node(self, pn_id: int) -> None:
@@ -139,6 +189,12 @@ class Database:
         for runner in self._runners.values():
             if runner.router.commit_manager is failed:
                 runner.router.commit_manager = replacement
+        if self.obs is not None:
+            from repro.obs import collect
+
+            # The replacement's collector registers after the failed
+            # manager's, so its values win for the shared cm label.
+            collect.watch_commit_manager(self.obs.registry, replacement)
         return replacement
 
     def crash_processing_node(self, pn_id: int) -> List[int]:
@@ -156,11 +212,18 @@ class Database:
 
     def session(self, pn_id: Optional[int] = None) -> Session:
         """Open a SQL session (creating a PN when none specified exists)."""
+        if self._closed:
+            raise InvalidState("database is closed")
         if pn_id is None:
             pn = self.add_processing_node()
             pn_id = pn.pn_id
         pn = self.processing_nodes[pn_id]
-        return Session(pn, self._runners[pn_id], IndexManager())
+        indexes = IndexManager()
+        if self.obs is not None:
+            from repro.obs import collect
+
+            collect.watch_index_manager(self.obs.registry, indexes, pn_id)
+        return Session(pn, self._runners[pn_id], indexes)
 
     # -- maintenance ----------------------------------------------------------------------
 
@@ -189,8 +252,14 @@ class Database:
         return self._runners[pn.pn_id]
 
     def __repr__(self) -> str:
+        state = " closed" if self._closed else ""
         return (
             f"<Database SNs={len(self.cluster.nodes)} "
             f"PNs={len(self.processing_nodes)} "
-            f"CMs={len(self.commit_managers)}>"
+            f"CMs={len(self.commit_managers)}{state}>"
         )
+
+
+def connect(config: Optional[DatabaseConfig] = None, **kwargs: object) -> Database:
+    """Open an embedded database; see :func:`repro.connect`."""
+    return Database(config, **kwargs)

@@ -91,6 +91,16 @@ def _table1():
     print_table(TABLE1_HEADERS, TABLE1_ROWS, title="Table 1")
 
 
+def _table4():
+    from repro.obs import PHASE_TABLE_HEADERS, phase_table_rows
+
+    snapshot = experiments.run_phase_breakdown()
+    print_table(
+        PHASE_TABLE_HEADERS, phase_table_rows(snapshot),
+        title="Table 4: response-time decomposition by phase",
+    )
+
+
 def _table3():
     rows = experiments.run_commit_managers()
     print_table(
@@ -138,6 +148,7 @@ def _ycsb():
 
 EXPERIMENTS = {
     "table1": _table1,
+    "table4": _table4,
     "fig5": _fig5,
     "fig6": _fig6,
     "fig7": _fig7,
@@ -150,6 +161,21 @@ EXPERIMENTS = {
     "ablations": _ablations,
     "ycsb": _ycsb,
 }
+
+
+def _write_snapshots(directory, experiment, snapshots) -> int:
+    """Write each ``(label, snapshot)`` pair next to the printed results
+    as ``<experiment>-<NN>-<label>.json`` (+ Prometheus text)."""
+    from repro.obs import to_json, to_prometheus
+
+    os.makedirs(directory, exist_ok=True)
+    for index, (label, snapshot) in enumerate(snapshots):
+        stem = os.path.join(directory, f"{experiment}-{index:02d}-{label}")
+        with open(stem + ".json", "w", encoding="utf-8") as handle:
+            handle.write(to_json(snapshot))
+        with open(stem + ".prom", "w", encoding="utf-8") as handle:
+            handle.write(to_prometheus(snapshot))
+    return len(snapshots)
 
 
 def main(argv=None) -> int:
@@ -172,6 +198,11 @@ def main(argv=None) -> int:
                         help="attach the repro.san sanitizers to every "
                              "simulated cluster (slow; fails on SI/GC "
                              "invariant violations)")
+    parser.add_argument("--obs", metavar="DIR", nargs="?",
+                        const="obs-snapshots", default=None,
+                        help="enable repro.obs on every simulated cluster "
+                             "and write one metrics snapshot per run into "
+                             "DIR (default: obs-snapshots/)")
     args = parser.parse_args(argv)
 
     if args.list or not args.experiments:
@@ -182,6 +213,12 @@ def main(argv=None) -> int:
         os.environ["REPRO_BENCH_PROFILE"] = args.profile
     if args.sanitize:
         os.environ["REPRO_SANITIZE"] = "1"
+    sink = None
+    if args.obs is not None:
+        from repro import obs
+
+        os.environ[obs.ENV_FLAG] = "1"
+        sink = obs.install_sink()
 
     profiler = None
     if args.cprofile is not None:
@@ -194,8 +231,15 @@ def main(argv=None) -> int:
             if name not in EXPERIMENTS:
                 parser.error(f"unknown experiment {name!r}")
             started = time.time()
+            first_snapshot = len(sink) if sink is not None else 0
             EXPERIMENTS[name]()
             print(f"[{name} finished in {time.time() - started:.1f}s]")
+            if sink is not None:
+                written = _write_snapshots(args.obs, name,
+                                           sink[first_snapshot:])
+                if written:
+                    print(f"[{written} obs snapshot(s) written to "
+                          f"{args.obs}/]")
     finally:
         if profiler is not None:
             profiler.disable()

@@ -45,6 +45,10 @@ class TellConfig:
     warmup_us: float = 100_000.0
     seed: int = 1
 
+    # observability (repro.obs): metrics registry + span tracing.  Off by
+    # default; REPRO_OBS=1 enables it regardless of this flag.
+    observability: bool = False
+
     def with_(self, **changes) -> "TellConfig":
         """A modified copy (dataclasses.replace wrapper)."""
         return replace(self, **changes)

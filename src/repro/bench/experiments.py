@@ -107,6 +107,25 @@ def run_tell(config: TellConfig) -> TxnMetrics:
 
 
 # ---------------------------------------------------------------------------
+# Table 4: response-time decomposition into transaction phases
+# ---------------------------------------------------------------------------
+
+
+def run_phase_breakdown(profile: Optional[BenchProfile] = None,
+                        **overrides: Any) -> dict:
+    """One TPC-C run with observability forced on; returns the
+    ``repro-obs/1`` snapshot whose ``phases`` section is the paper's
+    Table-4 shape (snapshot / read / write / commit per transaction
+    type).  Deterministic for a fixed seed."""
+    profile = profile or bench_profile()
+    config = tell_config(profile, observability=True, **overrides)
+    metrics = run_tell(config)
+    snapshot = metrics.obs_snapshot
+    assert snapshot is not None  # observability=True guarantees one
+    return snapshot
+
+
+# ---------------------------------------------------------------------------
 # Figures 5/6: processing scale-out at RF1/RF2/RF3
 # ---------------------------------------------------------------------------
 

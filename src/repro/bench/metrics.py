@@ -83,6 +83,9 @@ class TxnMetrics:
         #: Deliberately outside :meth:`digest` -- tracing is observational
         #: and must not change the behaviour fingerprint.
         self.request_trace: Optional[object] = None
+        #: ``repro-obs/1`` snapshot, attached by observability-enabled
+        #: deployments when the run finishes.  Also outside the digest.
+        self.obs_snapshot: Optional[dict] = None
 
     def record(
         self, txn_name: str, outcome: str, latency_us: float

@@ -483,6 +483,19 @@ class SimulatedTell:
         self.management = ManagementNode(self.cluster)
         self.catalog = build_tpcc_catalog()
         self.metrics = TxnMetrics()
+        self.obs = None
+        from repro.obs import obs_enabled
+        if config.observability or obs_enabled():
+            from repro.obs import Observability
+            from repro.obs.collect import (watch_commit_manager,
+                                           watch_fabric,
+                                           watch_storage_cluster)
+
+            self.obs = Observability(clock=lambda: self.sim.now)
+            watch_storage_cluster(self.obs.registry, self.cluster)
+            for manager in self.commit_managers:
+                watch_commit_manager(self.obs.registry, manager)
+            watch_fabric(self.obs.registry, self.fabric.stats)
         self.interceptors = list(interceptors)
         self.sanitizer_log = None
         from repro.san import sanitizers_enabled
@@ -527,7 +540,15 @@ class SimulatedTell:
         )
         pool = CorePool(self.config.pn_cores)
         cm_index = pn_id % len(self.commit_managers)
-        return pn, pool, cm_index, IndexManager()
+        indexes = IndexManager()
+        if self.obs is not None:
+            from repro.obs.collect import (watch_index_manager,
+                                           watch_processing_node)
+
+            pn.obs = self.obs
+            watch_processing_node(self.obs.registry, pn)
+            watch_index_manager(self.obs.registry, indexes, pn_id)
+        return pn, pool, cm_index, indexes
 
     # -- the simulated workload --------------------------------------------------------
 
@@ -557,7 +578,23 @@ class SimulatedTell:
         self.metrics.measured_time_us = end_time - warmup_end
         if self.sanitizer_log is not None:
             self.sanitizer_log.assert_clean()
+        if self.obs is not None:
+            from repro import obs as obs_module
+
+            snapshot = self.obs.snapshot()
+            # Outside the digest: observability must never change the
+            # deterministic result identity of a run.
+            self.metrics.obs_snapshot = snapshot
+            obs_module.emit(self._obs_label(), snapshot)
         return self.metrics
+
+    def _obs_label(self) -> str:
+        config = self.config
+        return (f"tell-pn{config.processing_nodes}"
+                f"-sn{config.storage_nodes}"
+                f"-rf{config.replication_factor}"
+                f"-cm{config.commit_managers}"
+                f"-{config.buffering}-{config.mix}-seed{config.seed}")
 
     def _terminal(
         self,
@@ -605,6 +642,8 @@ class SimulatedTell:
             txn = yield from pn.begin()
         except TellError:
             return "conflict"
+        if txn.span is not None:
+            txn.span.attrs["txn"] = txn_name
         context = TpccContext(
             self.catalog, txn, indexes, cpu_per_row_us=config.cpu_per_row_us
         )

@@ -82,6 +82,7 @@ class CommitManager:
         self._peer_last_tid: Dict[int, int] = {}
         self.starts_served = 0
         self.range_refills = 0
+        self.sync_rounds = 0
 
     # -- tid ranges -----------------------------------------------------------
 
@@ -181,6 +182,7 @@ class CommitManager:
     def sync(self, peer_ids: List[int]) -> None:
         """One synchronization round: absorb peers, retire idle stripe
         tids (interleaved mode), then publish the freshest view."""
+        self.sync_rounds += 1
         self.absorb_peers(peer_ids)
         if self.interleaved:
             self._retire_idle_stripe_tids()

@@ -52,6 +52,9 @@ class ProcessingNode:
         # table_id -> [next_rid, range_end]
         self._rid_ranges: Dict[int, list] = {}
         self.stats = PnStats()
+        # repro.obs hub, attached by an observability-enabled deployment;
+        # None keeps every instrumentation site a single attribute check.
+        self.obs = None
 
     def now(self) -> float:
         if self._clock is not None:
@@ -63,10 +66,23 @@ class ProcessingNode:
 
     def begin(self) -> Generator:
         """Start a transaction: one round trip to the commit manager."""
+        obs = self.obs
+        if obs is None:
+            start = yield effects.StartTransaction()
+            self.buffers.observe_snapshot(start.snapshot)
+            self.stats.begun += 1
+            return Transaction(self, start)
+        root = obs.tracer.start_span("txn")
+        root.attrs["pn"] = self.pn_id
+        snapshot_child = root.child("snapshot", start_us=root.start_us)
         start = yield effects.StartTransaction()
+        snapshot_child.finish()
+        root.attrs["tid"] = start.tid
         self.buffers.observe_snapshot(start.snapshot)
         self.stats.begun += 1
-        return Transaction(self, start)
+        txn = Transaction(self, start)
+        txn.span = root
+        return txn
 
     def run_transaction(
         self, logic: Callable[[Transaction], Generator], max_attempts: int = 1

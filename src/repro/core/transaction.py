@@ -63,6 +63,10 @@ class Transaction:
         # ("insert"|"delete", btree, index_key, rid, unique)
         self.index_ops: List[Tuple] = []
         self.start_time = pn.now()
+        # repro.obs root span; stays None unless the deployment enabled
+        # observability.  Carried explicitly (no ambient span stack --
+        # simulated coroutines interleave at every yield).
+        self.span = None
 
     # -- reads ------------------------------------------------------------------
 
@@ -110,7 +114,11 @@ class Transaction:
         return payload
 
     def _fetch(self, keys: List[Any]) -> Generator:
+        span = self.span
+        read_child = span.child("read") if span is not None else None
         fetched = yield from self.pn.buffers.read_records(self.snapshot, keys)
+        if read_child is not None:
+            read_child.finish()
         for key, (record, cell_version) in fetched.items():
             self._cache[key] = (record, cell_version)
 
@@ -175,10 +183,15 @@ class Transaction:
     def commit(self) -> Generator:
         """Run Try-Commit; raises :class:`TransactionAborted` on conflict."""
         self._require(TxnState.RUNNING)
+        span = self.span
         if not self._writes and not self.index_ops:
             # Read-only fast path: nothing to apply or log.
             self.state = TxnState.COMMITTED
+            commit_child = span.child("commit") if span is not None else None
             yield effects.ReportCommitted(self.tid)
+            if commit_child is not None:
+                commit_child.finish()
+            self._finish_span("committed")
             return
 
         # Conflict scenario 1 of Section 4.1: the record was already read
@@ -186,6 +199,7 @@ class Transaction:
         # applied after we started but before we read).  The LL/SC would
         # succeed -- nothing changed since the read -- so this case must
         # be detected from the version numbers themselves.
+        commit_child = span.child("commit") if span is not None else None
         for key in self._writes:
             if key in self._inserted:
                 continue
@@ -196,6 +210,7 @@ class Transaction:
             if newest != self.tid and not self.snapshot.contains(newest):
                 self.state = TxnState.ABORTED
                 yield effects.ReportAborted(self.tid)
+                self._finish_span("conflict")
                 raise TransactionAborted(
                     self.tid,
                     f"write-write conflict: {key!r} has newer version {newest}",
@@ -204,6 +219,9 @@ class Transaction:
         self.state = TxnState.TRY_COMMIT
         entry = LogEntry(self.tid, self.pn.pn_id, self.pn.now(), self.write_set)
         yield from self.pn.txlog.append(entry)
+        if commit_child is not None:
+            commit_child.finish()
+        write_child = span.child("write") if span is not None else None
 
         puts, new_records = self._build_apply_ops()
         results = yield effects.Batch(puts)
@@ -231,15 +249,26 @@ class Transaction:
                 self.tid, op.key, new_records[op.key], cell_version
             )
 
+        if write_child is not None:
+            write_child.finish()
+        tail_child = span.child("commit") if span is not None else None
         yield from self.pn.txlog.set_status(entry, STATUS_COMMITTED)
         self.state = TxnState.COMMITTED
         yield effects.ReportCommitted(self.tid)
+        if tail_child is not None:
+            tail_child.finish()
+        self._finish_span("committed")
 
     def abort(self) -> Generator:
         """Manual abort: nothing was applied, just notify the manager."""
         self._require(TxnState.RUNNING)
         self.state = TxnState.ABORTED
+        span = self.span
+        abort_child = span.child("abort") if span is not None else None
         yield effects.ReportAborted(self.tid)
+        if abort_child is not None:
+            abort_child.finish()
+        self._finish_span("user_abort")
 
     # -- commit internals ------------------------------------------------------------
 
@@ -304,9 +333,16 @@ class Transaction:
         yield from self.pn.txlog.set_status(entry, STATUS_ABORTED)
         self.state = TxnState.ABORTED
         yield effects.ReportAborted(self.tid)
+        self._finish_span("conflict")
         raise TransactionAborted(self.tid, reason)
 
     # -- helpers --------------------------------------------------------------------
+
+    def _finish_span(self, outcome: str) -> None:
+        span = self.span
+        if span is not None:
+            span.attrs["outcome"] = outcome
+            span.finish()
 
     def _require(self, state: TxnState) -> None:
         if self.state is not state:

@@ -68,3 +68,11 @@ class SqlPlanError(SqlError):
 
 class SchemaError(TellError):
     """Catalog-level violation (duplicate table, unknown column, ...)."""
+
+
+class NoResultRows(SqlError):
+    """``ResultSet.one()`` was called on an empty result."""
+
+
+class MultipleResultRows(SqlError):
+    """``ResultSet.one()`` was called on a result with several rows."""

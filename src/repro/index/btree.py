@@ -118,6 +118,24 @@ class IndexCache:
         self._nodes.clear()
 
 
+class BTreeStats:
+    """Traversal / SMO accounting, harvested by ``repro.obs`` collectors.
+
+    Plain integer counters so the hot path pays one increment; never read
+    by the protocol itself.
+    """
+
+    __slots__ = ("node_fetches", "leaf_fetches", "smo_splits",
+                 "smo_retries", "entries_pruned")
+
+    def __init__(self) -> None:
+        self.node_fetches = 0
+        self.leaf_fetches = 0
+        self.smo_splits = 0
+        self.smo_retries = 0
+        self.entries_pruned = 0
+
+
 class DistributedBTree:
     """One index tree; instantiate per (index, processing node) pair.
 
@@ -136,6 +154,7 @@ class DistributedBTree:
             raise InvalidState("B+tree fanout must be at least 4")
         self.index_id = index_id
         self.max_entries = max_entries
+        self.stats = BTreeStats()
         self.cache = cache if cache is not None else IndexCache()
         self.cache_inner_nodes = cache_inner_nodes
         # Cached root pointer (node_id, level).  A stale root is safe as a
@@ -159,6 +178,10 @@ class DistributedBTree:
                 f"index {self.index_id}: node {node_id} vanished"
             )
         self.cache.misses += 1
+        stats = self.stats
+        stats.node_fetches += 1
+        if value.is_leaf:
+            stats.leaf_fetches += 1
         return value, version
 
     def _load(self, node_id: int, use_cache: bool) -> Generator:
@@ -399,6 +422,7 @@ class DistributedBTree:
                 )
                 if ok:
                     return True
+                self.stats.smo_retries += 1
                 continue  # raced: retry from a fresh descent
             done = yield from self._split_and_insert(leaf, version, new_entries, path)
             if done:
@@ -451,7 +475,9 @@ class DistributedBTree:
         if not ok:
             # Lost the race; the fresh right node is unreachable garbage.
             yield effects.Delete(INDEX_SPACE, self._node_key(right_id))
+            self.stats.smo_retries += 1
             return False
+        self.stats.smo_splits += 1
         self.cache.invalidate(node.node_id)
         yield from self._insert_separator(
             node.level + 1, split_key, right_id, path
@@ -589,6 +615,7 @@ class DistributedBTree:
                 INDEX_SPACE, self._node_key(leaf.node_id), updated, version
             )
             if ok:
+                self.stats.entries_pruned += 1
                 return True
 
     # -- bulk loading ------------------------------------------------------------

@@ -686,6 +686,71 @@ carry `# repro-lint: ignore[RL009]` with a justification.
                     )
 
 
+class RL010SanitizerObservability(Rule):
+    code = "RL010"
+    title = "sanitizer touches observability instrumentation"
+    explain = """\
+The repro.obs metrics/tracing layer and the repro.san sanitizers are
+both observers, but they must stay independent: the sanitizers verify
+protocol axioms over a shadow history, and the observability layer
+harvests live component state.  Shadow code that imports repro.obs, or
+records into a registry/tracer/span it was handed, couples the two --
+metric values would then depend on whether a sanitizer is attached
+(breaking obs snapshot determinism), and a tracing bug could perturb a
+sanitized run.  Instrumentation belongs in the protocol and driver
+layers; sanitizers report through their own finding channels.
+
+RL010 fires inside the observer modules of repro.san (the same set
+RL009 polices -- everything except the drivers scenarios, explorer,
+__main__) on:
+
+  * `import repro.obs` / `from repro.obs import ...` (any submodule);
+  * calls whose receiver chain ends in an observability object name
+    (`obs`, `tracer`, `registry`, `span`).
+"""
+
+    OBSERVER_PACKAGE = RL009SanitizerMutation.OBSERVER_PACKAGE
+    DRIVER_MODULES = RL009SanitizerMutation.DRIVER_MODULES
+
+    _OBS_RECEIVERS = frozenset({"obs", "tracer", "registry", "span"})
+
+    def check(self, module, tree, index):
+        name = module.module
+        if not in_packages(name, (self.OBSERVER_PACKAGE,)):
+            return
+        if name in self.DRIVER_MODULES:
+            return
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "repro.obs" or \
+                            alias.name.startswith("repro.obs."):
+                        yield node, (
+                            f"sanitizer module {name} imports "
+                            f"`{alias.name}`; shadow code must not use "
+                            f"observability instrumentation"
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                source = node.module or ""
+                if source == "repro.obs" or source.startswith("repro.obs."):
+                    yield node, (
+                        f"sanitizer module {name} imports from "
+                        f"`{source}`; shadow code must not use "
+                        f"observability instrumentation"
+                    )
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if not isinstance(func, ast.Attribute):
+                    continue
+                receiver = RL008BypassedDispatch._receiver_name(func.value)
+                if receiver in self._OBS_RECEIVERS:
+                    yield node, (
+                        f"sanitizer module {name} calls "
+                        f"`{receiver}.{func.attr}(...)`; shadow code must "
+                        f"not record metrics or spans"
+                    )
+
+
 ALL_RULES: List[Rule] = [
     RL001DroppedEffect(),
     RL002GeneratorNotDelegated(),
@@ -696,6 +761,7 @@ ALL_RULES: List[Rule] = [
     RL007MutableDefault(),
     RL008BypassedDispatch(),
     RL009SanitizerMutation(),
+    RL010SanitizerObservability(),
 ]
 
 RULES_BY_CODE = {rule.code: rule for rule in ALL_RULES}

@@ -1,0 +1,142 @@
+"""Snapshot exporters: JSON schema ``repro-obs/1`` and Prometheus text.
+
+The JSON snapshot is the canonical artifact -- the bench harness writes
+one next to every figure/table result, the CLI renders it, and CI
+validates it.  Determinism matters more than prettiness: all keys are
+sorted and all timestamps come from the simulated clock, so two
+same-seed runs serialize byte-identically.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List
+
+OBS_SCHEMA = "repro-obs/1"
+
+
+def validate_snapshot(snapshot: dict) -> List[str]:
+    """Return a list of schema problems (empty == valid)."""
+    problems: List[str] = []
+    if not isinstance(snapshot, dict):
+        return ["snapshot is not an object"]
+    if snapshot.get("schema") != OBS_SCHEMA:
+        problems.append(f"schema is {snapshot.get('schema')!r}, "
+                        f"expected {OBS_SCHEMA!r}")
+    for section in ("counters", "gauges"):
+        value = snapshot.get(section)
+        if not isinstance(value, dict):
+            problems.append(f"missing or non-object section {section!r}")
+            continue
+        for name, num in value.items():
+            if not isinstance(num, (int, float)):
+                problems.append(f"{section}[{name!r}] is not a number")
+    histograms = snapshot.get("histograms")
+    if not isinstance(histograms, dict):
+        problems.append("missing or non-object section 'histograms'")
+    else:
+        for name, cell in histograms.items():
+            if not isinstance(cell, dict) or not {
+                    "count", "sum", "max", "buckets"} <= set(cell):
+                problems.append(f"histograms[{name!r}] malformed")
+    phases = snapshot.get("phases")
+    if not isinstance(phases, dict) or "rows" not in phases:
+        problems.append("missing or malformed section 'phases'")
+    else:
+        for row in phases["rows"]:
+            if not isinstance(row, dict) or not {
+                    "txn", "count", "mean_us", "phases"} <= set(row):
+                problems.append("phase row malformed")
+                break
+    spans = snapshot.get("spans")
+    if not isinstance(spans, dict) or "finished_roots" not in spans:
+        problems.append("missing or malformed section 'spans'")
+    meta = snapshot.get("meta")
+    if not isinstance(meta, dict) or "clock" not in meta:
+        problems.append("missing or malformed section 'meta'")
+    return problems
+
+
+def to_json(snapshot: dict, indent: int = 2) -> str:
+    return json.dumps(snapshot, indent=indent, sort_keys=True)
+
+
+def _prom_name(series: str) -> str:
+    """``name{a=b}`` -> Prometheus ``name{a="b"}``."""
+    if "{" not in series:
+        return series
+    name, _, rest = series.partition("{")
+    labels = rest.rstrip("}")
+    quoted = ",".join(
+        f'{k}="{v}"' for k, v in
+        (pair.split("=", 1) for pair in labels.split(",")))
+    return f"{name}{{{quoted}}}"
+
+
+def to_prometheus(snapshot: dict) -> str:
+    """Render the snapshot in the Prometheus text exposition format."""
+    lines: List[str] = []
+    typed: set = set()
+
+    def type_line(series: str, kind: str) -> None:
+        name = series.partition("{")[0]
+        if name not in typed:
+            typed.add(name)
+            lines.append(f"# TYPE {name} {kind}")
+
+    for series, value in snapshot.get("counters", {}).items():
+        type_line(series, "counter")
+        lines.append(f"{_prom_name(series)} {value}")
+    for series, value in snapshot.get("gauges", {}).items():
+        type_line(series, "gauge")
+        lines.append(f"{_prom_name(series)} {value}")
+    for series, cell in snapshot.get("histograms", {}).items():
+        type_line(series, "histogram")
+        name, _, rest = series.partition("{")
+        labels = rest.rstrip("}") if rest else ""
+        cumulative = 0
+        for bucket in sorted(cell["buckets"], key=int):
+            cumulative += cell["buckets"][bucket]
+            upper = float(2 ** int(bucket))
+            merged = f"{labels},le={upper}" if labels else f"le={upper}"
+            lines.append(f"{_prom_name(f'{name}_bucket{{{merged}}}')} "
+                         f"{cumulative}")
+        merged = f"{labels},le=+Inf" if labels else "le=+Inf"
+        lines.append(f"{_prom_name(f'{name}_bucket{{{merged}}}')} "
+                     f"{cell['count']}")
+        suffix = f"{{{labels}}}" if labels else ""
+        lines.append(f"{_prom_name(f'{name}_sum{suffix}')} {cell['sum']}")
+        lines.append(f"{_prom_name(f'{name}_count{suffix}')} "
+                     f"{cell['count']}")
+    return "\n".join(lines) + "\n"
+
+
+def phase_table_rows(snapshot: dict) -> List[list]:
+    """Tabular per-phase latency breakdown (the Table-4 shape).
+
+    Columns: txn, count, mean total (ms), then mean ms in each of
+    snapshot / read / write / commit / other.
+    """
+    rows = []
+    for row in snapshot.get("phases", {}).get("rows", []):
+        phases = row["phases"]
+
+        def mean_ms(phase: str) -> str:
+            cell = phases.get(phase)
+            if cell is None:
+                return "-"
+            # Phase means are per-transaction: total phase time spread
+            # over every transaction of this type, not per occurrence.
+            return f"{cell['total_us'] / row['count'] / 1000.0:.3f}"
+
+        rows.append([
+            row["txn"], row["count"], f"{row['mean_us'] / 1000.0:.3f}",
+            mean_ms("snapshot"), mean_ms("read"), mean_ms("write"),
+            mean_ms("commit"), mean_ms("other"),
+        ])
+    return rows
+
+
+PHASE_TABLE_HEADERS = ["Txn", "Count", "Total (ms)", "Snapshot (ms)",
+                       "Read (ms)", "Write (ms)", "Commit (ms)",
+                       "Other (ms)"]

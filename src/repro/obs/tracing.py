@@ -1,0 +1,216 @@
+"""Span-based tracing for the transaction lifecycle.
+
+A *root span* covers one transaction from ``begin`` to commit/abort.
+Child spans mark the phases the paper's Table 4 decomposes response time
+into -- ``snapshot`` (tid + snapshot acquisition from the commit manager),
+``read`` (record fetches through the buffer), ``write`` (batch apply,
+index maintenance, write-through), ``commit`` (log append and the commit
+protocol tail), plus ``abort`` for rollback work.  Whatever is left of
+the root duration is attributed to ``other`` (application compute).
+
+Timestamps come from an injected clock -- the simulator clock in
+simulated deployments -- so traces are deterministic under fixed seeds.
+There is no implicit "current span" stack: simulated processing nodes
+interleave coroutines at every yield point, so ambient context would
+misattribute work.  Spans travel explicitly on the transaction object.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+#: Phase names recognised by the Table-4 breakdown, in presentation order.
+PHASES = ("snapshot", "read", "write", "commit", "abort")
+
+
+class Span:
+    """One timed segment of work.  Children must be finished (or are
+    force-closed) by the time the root finishes."""
+
+    __slots__ = ("tracer", "name", "span_id", "parent_id", "start_us",
+                 "end_us", "attrs", "children")
+
+    def __init__(self, tracer: "Tracer", name: str, span_id: int,
+                 parent_id: Optional[int], start_us: float) -> None:
+        self.tracer = tracer
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.start_us = start_us
+        self.end_us: Optional[float] = None
+        self.attrs: Dict[str, object] = {}
+        self.children: List[Span] = []
+
+    def child(self, name: str, start_us: Optional[float] = None) -> "Span":
+        """Open a child span (caller finishes it, or the root sweep does)."""
+        tracer = self.tracer
+        span = Span(tracer, name, tracer._next_id(), self.span_id,
+                    tracer.clock() if start_us is None else start_us)
+        self.children.append(span)
+        return span
+
+    def finish(self, end_us: Optional[float] = None) -> None:
+        if self.end_us is not None:
+            return
+        self.end_us = self.tracer.clock() if end_us is None else end_us
+        if self.parent_id is None:
+            self.tracer._root_finished(self)
+
+    @property
+    def duration_us(self) -> float:
+        if self.end_us is None:
+            return 0.0
+        return self.end_us - self.start_us
+
+    def to_dict(self) -> dict:
+        out: dict = {
+            "name": self.name,
+            "span_id": self.span_id,
+            "start_us": self.start_us,
+            "end_us": self.end_us,
+            "duration_us": self.duration_us,
+        }
+        if self.attrs:
+            out["attrs"] = {k: self.attrs[k] for k in sorted(self.attrs)}
+        if self.children:
+            out["children"] = [c.to_dict() for c in self.children]
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = f"{self.duration_us:.1f}us" if self.end_us is not None \
+            else "open"
+        return f"Span({self.name!r}, id={self.span_id}, {state})"
+
+
+class PhaseBreakdown:
+    """Aggregates finished root spans into the Table-4 shape.
+
+    Rows are keyed by transaction name; columns are total latency plus
+    per-phase latency (count / total / max microseconds per phase).
+    """
+
+    __slots__ = ("_rows", "_outcomes")
+
+    def __init__(self) -> None:
+        # txn_name -> {"count": n, "total_us": x,
+        #              "phases": {phase: [count, total_us, max_us]}}
+        self._rows: Dict[str, dict] = {}
+        self._outcomes: Dict[str, Dict[str, int]] = {}
+
+    def record(self, root: Span) -> None:
+        name = str(root.attrs.get("txn", root.name))
+        outcome = str(root.attrs.get("outcome", "unknown"))
+        row = self._rows.get(name)
+        if row is None:
+            row = {"count": 0, "total_us": 0.0, "phases": {}}
+            self._rows[name] = row
+        total = root.duration_us
+        row["count"] += 1
+        row["total_us"] += total
+        phases = row["phases"]
+        accounted = 0.0
+        for child in root.children:
+            duration = child.duration_us
+            accounted += duration
+            cell = phases.get(child.name)
+            if cell is None:
+                phases[child.name] = [1, duration, duration]
+            else:
+                cell[0] += 1
+                cell[1] += duration
+                if duration > cell[2]:
+                    cell[2] = duration
+        other = total - accounted
+        if other > 0.0:
+            cell = phases.get("other")
+            if cell is None:
+                phases["other"] = [1, other, other]
+            else:
+                cell[0] += 1
+                cell[1] += other
+                if other > cell[2]:
+                    cell[2] = other
+        per_txn = self._outcomes.setdefault(name, {})
+        per_txn[outcome] = per_txn.get(outcome, 0) + 1
+
+    def rows(self) -> List[dict]:
+        """One dict per transaction name, deterministic order."""
+        out = []
+        for name in sorted(self._rows):
+            row = self._rows[name]
+            count = row["count"]
+            phases = {}
+            order = [p for p in (*PHASES, "other") if p in row["phases"]]
+            order += [p for p in sorted(row["phases"]) if p not in order]
+            for phase in order:
+                p_count, p_total, p_max = row["phases"][phase]
+                phases[phase] = {
+                    "count": p_count,
+                    "total_us": p_total,
+                    "mean_us": p_total / p_count if p_count else 0.0,
+                    "max_us": p_max,
+                }
+            out.append({
+                "txn": name,
+                "count": count,
+                "total_us": row["total_us"],
+                "mean_us": row["total_us"] / count if count else 0.0,
+                "phases": phases,
+                "outcomes": dict(sorted(self._outcomes[name].items())),
+            })
+        return out
+
+    def to_dict(self) -> dict:
+        return {"rows": self.rows()}
+
+
+class Tracer:
+    """Creates spans, stamps them with the injected clock, aggregates
+    finished roots into a :class:`PhaseBreakdown`, and retains up to
+    ``max_roots`` raw root trees for export."""
+
+    __slots__ = ("clock", "max_roots", "phases", "roots", "dropped",
+                 "finished_roots", "abandoned", "_id")
+
+    def __init__(self, clock: Callable[[], float],
+                 max_roots: int = 1000) -> None:
+        self.clock = clock
+        self.max_roots = max_roots
+        self.phases = PhaseBreakdown()
+        self.roots: List[Span] = []
+        self.dropped = 0
+        self.finished_roots = 0
+        self.abandoned = 0
+        self._id = 0
+
+    def _next_id(self) -> int:
+        self._id += 1
+        return self._id
+
+    def start_span(self, name: str,
+                   start_us: Optional[float] = None) -> Span:
+        return Span(self, name, self._next_id(), None,
+                    self.clock() if start_us is None else start_us)
+
+    def _root_finished(self, root: Span) -> None:
+        # Close any phase child left open by an abort path so its time
+        # is still attributed (e.g. a conflict detected mid-write).
+        end = root.end_us if root.end_us is not None else root.start_us
+        for child in root.children:
+            if child.end_us is None:
+                child.end_us = end
+        self.finished_roots += 1
+        self.phases.record(root)
+        if len(self.roots) < self.max_roots:
+            self.roots.append(root)
+        else:
+            self.dropped += 1
+
+    def to_dict(self) -> dict:
+        return {
+            "finished_roots": self.finished_roots,
+            "kept": len(self.roots),
+            "dropped": self.dropped,
+            "abandoned": self.abandoned,
+            "roots": [r.to_dict() for r in self.roots],
+        }

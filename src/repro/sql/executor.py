@@ -33,7 +33,14 @@ Row = Dict[str, Any]  # "alias.column" -> value (plus bare names when unique)
 
 
 class ResultSet:
-    """What a statement execution returns."""
+    """What a statement execution returns.
+
+    Every ``Session.execute`` call produces one of these: ``columns``,
+    ``rows`` (tuples), and ``rowcount`` (rows affected for DML).  The
+    helpers cover the common shapes -- ``dicts()`` for labelled rows,
+    ``one()`` for exactly-one-row queries, ``scalar()`` for single
+    values.  ``Session.query`` remains the dict-rows convenience wrapper.
+    """
 
     __slots__ = ("columns", "rows", "rowcount")
 
@@ -46,7 +53,26 @@ class ResultSet:
     def dicts(self) -> List[Dict[str, Any]]:
         return [dict(zip(self.columns, row)) for row in self.rows]
 
+    def one(self) -> Tuple[Any, ...]:
+        """The single row of the result.
+
+        Raises :class:`repro.errors.NoResultRows` on an empty result and
+        :class:`repro.errors.MultipleResultRows` when more than one row
+        came back -- use it when the query must identify exactly one row.
+        """
+        from repro.errors import MultipleResultRows, NoResultRows
+
+        if not self.rows:
+            raise NoResultRows("one() on an empty result")
+        if len(self.rows) > 1:
+            raise MultipleResultRows(
+                f"one() on a result with {len(self.rows)} rows"
+            )
+        return self.rows[0]
+
     def scalar(self) -> Any:
+        """First column of the first row, or ``None`` for an empty result
+        (the lenient counterpart of ``one()[0]``)."""
         if not self.rows or not self.rows[0]:
             return None
         return self.rows[0][0]

@@ -11,13 +11,14 @@ concurrent DDL from two processing nodes conflicts cleanly.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Generator, List, Optional, Sequence
+import contextlib
+from typing import Any, Callable, Dict, Generator, Iterator, List, Optional, Sequence
 
 from repro import effects
 from repro.core.processing_node import ProcessingNode
 from repro.core.spaces import DATA_SPACE
 from repro.core.transaction import Transaction
-from repro.errors import InvalidState, SqlPlanError, TransactionAborted
+from repro.errors import InvalidState, SqlPlanError, TellError, TransactionAborted
 from repro.sql import ast_nodes as ast
 from repro.sql.executor import ResultSet, StatementExecutor
 from repro.sql.parser import parse
@@ -36,6 +37,33 @@ class Session:
         self._catalog: Optional[Catalog] = None
         self._catalog_version = 0
         self._txn: Optional[Transaction] = None
+        self._closed = False
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def close(self) -> None:
+        """End the session, rolling back any open transaction.
+
+        Idempotent; further SQL on the session raises :class:`InvalidState`.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self._txn is not None:
+            txn, self._txn = self._txn, None
+            with contextlib.suppress(TellError):
+                self.runner.run(txn.abort())
+            self.pn.stats.aborted += 1
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        self.close()
 
     # -- catalog -----------------------------------------------------------------
 
@@ -55,6 +83,8 @@ class Session:
         return self._txn is not None
 
     def begin(self) -> Transaction:
+        if self._closed:
+            raise InvalidState("session is closed")
         if self._txn is not None:
             raise InvalidState("a transaction is already open on this session")
         self._txn = self.runner.run(self.pn.begin())
@@ -78,10 +108,31 @@ class Session:
         self.runner.run(txn.abort())
         self.pn.stats.aborted += 1
 
+    @contextlib.contextmanager
+    def transaction(self) -> Iterator[Transaction]:
+        """Scope a transaction: commit on clean exit, rollback on error.
+
+        The body may also end the transaction itself (explicit
+        ``COMMIT``/``ROLLBACK`` or :meth:`commit`/:meth:`rollback`); the
+        exit step is then a no-op.  Exceptions propagate unmasked after
+        the rollback.
+        """
+        txn = self.begin()
+        try:
+            yield txn
+        except BaseException:
+            if self._txn is txn:
+                self.rollback()
+            raise
+        if self._txn is txn:
+            self.commit()
+
     # -- SQL ---------------------------------------------------------------------------
 
     def execute(self, sql: str, params: Sequence[Any] = ()) -> ResultSet:
         """Parse and execute one SQL statement."""
+        if self._closed:
+            raise InvalidState("session is closed")
         statement = parse(sql)
         if isinstance(statement, ast.BeginStmt):
             self.begin()
@@ -234,14 +285,22 @@ class Session:
         """Populate a freshly created index from existing rows."""
         index = next(i for i in schema.indexes if i.name == index_name)
         txn = self.runner.run(self.pn.begin())
-        table = Table(schema, txn, self.indexes)
-        rows = self.runner.run(table.scan())
-        tree = self.indexes.tree(index)
-        from repro.sql.keyenc import encode_key
+        try:
+            table = Table(schema, txn, self.indexes)
+            rows = self.runner.run(table.scan())
+            tree = self.indexes.tree(index)
+            from repro.sql.keyenc import encode_key
 
-        for rid, row in rows:
-            key = encode_key(schema.index_key_of(index, row))
-            self.runner.run(tree.insert(key, rid, unique=index.unique))
+            for rid, row in rows:
+                key = encode_key(schema.index_key_of(index, row))
+                self.runner.run(tree.insert(key, rid, unique=index.unique))
+        except BaseException:
+            # A failed backfill (e.g. DuplicateKey under a unique index)
+            # must not leak an open transaction: an abandoned tid would
+            # hold the lowest-active-version down and block GC forever.
+            with contextlib.suppress(TellError):
+                self.runner.run(txn.abort())
+            raise
         self.runner.run(txn.commit())
 
 

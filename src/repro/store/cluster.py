@@ -87,6 +87,8 @@ class StorageCluster:
         if n_nodes < 1:
             raise InvalidState("need at least one storage node")
         self.replication_factor = replication_factor
+        # replica cell copies shipped to backups (repro.obs fan-out gauge)
+        self.replication_copies = 0
         self.nodes: Dict[int, StorageNode] = {
             node_id: StorageNode(
                 node_id,
@@ -226,6 +228,7 @@ class StorageCluster:
             backup = self.nodes[backup_id]
             if backup.alive:
                 backup.copy_cell(partition_id, op.space, op.key, cell)
+                self.replication_copies += 1
 
     # -- sizing (used by the simulation driver) --------------------------------
 

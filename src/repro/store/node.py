@@ -69,6 +69,10 @@ class StorageNode:
         self.alive = True
         self.partitions: Dict[int, PartitionStore] = {}
         self.bytes_used = 0
+        # op accounting, harvested by repro.obs collectors at snapshot time
+        self.ops_read = 0
+        self.ops_write = 0
+        self.ops_scan = 0
         # simulation bookkeeping: per-worker availability (set by sim driver)
         self.sim_state: Dict[str, Any] = {}
 
@@ -119,6 +123,7 @@ class StorageNode:
         # space (a pure read has no reason to allocate).
         if not self.alive:
             self._check_alive()
+        self.ops_read += 1
         store = self.partitions.get(partition_id)
         if store is None:
             self.partition(partition_id)  # raises KeyNotFound
@@ -132,6 +137,7 @@ class StorageNode:
         self, partition_id: int, space: str, key: Any, value: Any
     ) -> Tuple[int, int]:
         self._check_alive()
+        self.ops_write += 1
         store = self.partition(partition_id)
         cells = store.space(space)
         cell = cells.get(key)
@@ -156,6 +162,7 @@ class StorageNode:
     ) -> Tuple[Tuple[bool, int], int]:
         """Store-conditional: apply only if the cell version matches."""
         self._check_alive()
+        self.ops_write += 1
         store = self.partition(partition_id)
         cells = store.space(space)
         cell = cells.get(key)
@@ -174,6 +181,7 @@ class StorageNode:
 
     def do_delete(self, partition_id: int, space: str, key: Any) -> Tuple[bool, int]:
         self._check_alive()
+        self.ops_write += 1
         store = self.partition(partition_id)
         cells = store.space(space)
         cell = cells.pop(key, None)
@@ -187,6 +195,7 @@ class StorageNode:
         self, partition_id: int, space: str, key: Any, expected_version: int
     ) -> Tuple[Tuple[bool, int], int]:
         self._check_alive()
+        self.ops_write += 1
         store = self.partition(partition_id)
         cells = store.space(space)
         cell = cells.get(key)
@@ -202,6 +211,7 @@ class StorageNode:
         self, partition_id: int, space: str, key: Any, delta: int
     ) -> Tuple[int, int]:
         self._check_alive()
+        self.ops_write += 1
         store = self.partition(partition_id)
         cells = store.space(space)
         cell = cells.get(key)
@@ -232,6 +242,7 @@ class StorageNode:
         the storage-side operator push-down of Section 5.2.
         """
         self._check_alive()
+        self.ops_scan += 1
         store = self.partition(partition_id)
         cells = store.space(space)
         keys = store.sorted_keys(space)

@@ -36,10 +36,11 @@ def pn():
 
 @pytest.fixture
 def db():
-    """An embedded database with one session pre-created."""
-    from repro.api import Database
+    """An embedded database, closed again after the test."""
+    import repro
 
-    return Database(storage_nodes=3, replication_factor=1)
+    with repro.connect(storage_nodes=3, replication_factor=1) as database:
+        yield database
 
 
 def interleave(router, generators):

@@ -540,6 +540,75 @@ class TestRL009:
         """, module="repro.san.si") == []
 
 
+# ---------------------------------------------------------------------------
+# RL010 -- sanitizer shadow code must not touch observability
+# ---------------------------------------------------------------------------
+
+
+class TestRL010:
+    def test_import_repro_obs_fires(self):
+        assert codes("""
+            import repro.obs
+        """, module="repro.san.si") == ["RL010"]
+
+    def test_import_submodule_fires(self):
+        assert codes("""
+            import repro.obs.registry
+        """, module="repro.san.gcsan") == ["RL010"]
+
+    def test_from_import_fires(self):
+        assert codes("""
+            from repro.obs import MetricsRegistry
+        """, module="repro.san.chain") == ["RL010"]
+
+    def test_from_submodule_import_fires(self):
+        assert codes("""
+            from repro.obs.tracing import Tracer
+        """, module="repro.san.si") == ["RL010"]
+
+    def test_recording_into_registry_fires(self):
+        assert codes("""
+            def observe(self, registry):
+                registry.counter("repro_san_checks").inc()
+        """, module="repro.san.si") == ["RL010"]
+
+    def test_span_and_tracer_calls_fire(self):
+        assert codes("""
+            def observe(self, tracer, span):
+                child = tracer.start_span("check")
+                span.finish()
+        """, module="repro.san.gcsan") == ["RL010", "RL010"]
+
+    def test_obs_receiver_fires(self):
+        assert codes("""
+            def observe(self, pn):
+                pn.obs.snapshot()
+        """, module="repro.san.si") == ["RL010"]
+
+    def test_driver_modules_are_exempt(self):
+        source = """
+            from repro.obs import Observability
+            def drive(obs):
+                return obs.snapshot()
+        """
+        assert codes(source, module="repro.san.scenarios") == []
+        assert codes(source, module="repro.san.explorer") == []
+        assert codes(source, module="repro.san.__main__") == []
+
+    def test_outside_san_is_exempt(self):
+        assert codes("""
+            from repro.obs import MetricsRegistry
+            def snapshot(obs):
+                return obs.snapshot()
+        """, module="repro.bench.simcluster") == []
+
+    def test_unrelated_imports_are_clean(self):
+        assert codes("""
+            from repro import effects
+            import repro.errors
+        """, module="repro.san.si") == []
+
+
 class TestEngine:
     def test_skip_file(self):
         assert codes("""

@@ -1,0 +1,238 @@
+"""Tests for repro.obs: registry, tracer, exporters, and determinism."""
+
+import json
+
+import pytest
+
+from repro.bench.config import TellConfig
+from repro.bench.simcluster import SimulatedTell
+from repro.obs import (Observability, obs_enabled, phase_table_rows, to_json,
+                       to_prometheus, validate_snapshot)
+from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.tracing import PhaseBreakdown, Tracer
+from repro.workloads.tpcc.params import TpccScale
+
+
+def tiny_config(**overrides):
+    defaults = dict(
+        processing_nodes=1,
+        storage_nodes=2,
+        threads_per_pn=4,
+        scale=TpccScale.tiny(2),
+        duration_us=60_000.0,
+        warmup_us=10_000.0,
+        seed=5,
+        observability=True,
+    )
+    defaults.update(overrides)
+    return TellConfig(**defaults)
+
+
+class TestRegistry:
+    def test_counter_accumulates_per_label_set(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("ops", "operations")
+        counter.inc(node="0")
+        counter.inc(2, node="0")
+        counter.inc(node="1")
+        assert counter.value(node="0") == 3
+        assert counter.value(node="1") == 1
+
+    def test_counter_rejects_negative(self):
+        counter = MetricsRegistry().counter("ops")
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_gauge_sets_and_overwrites(self):
+        gauge = MetricsRegistry().gauge("depth")
+        gauge.set(4.0)
+        gauge.set(2.5)
+        assert gauge.value() == 2.5
+
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+
+    def test_type_mismatch_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError):
+            registry.gauge("x")
+
+    def test_histogram_log2_buckets(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("lat")
+        for value in (1.0, 3.0, 100.0):
+            histogram.observe(value)
+        snap = registry.snapshot()["histograms"]["lat"]
+        assert snap["count"] == 3
+        assert snap["sum"] == 104.0
+        assert snap["max"] == 100.0
+        # 1.0 -> bucket 0, 3.0 -> bucket 2 (<=4), 100.0 -> bucket 7 (<=128)
+        assert snap["buckets"] == {"0": 1, "2": 1, "7": 1}
+
+    def test_collectors_run_at_snapshot_time(self):
+        registry = MetricsRegistry()
+        state = {"value": 0}
+        registry.register_collector(
+            lambda reg: reg.gauge("live").set(state["value"]))
+        state["value"] = 7
+        snapshot = registry.snapshot()
+        assert snapshot["gauges"]["live"] == 7.0
+
+    def test_series_keys_are_sorted_and_stable(self):
+        registry = MetricsRegistry()
+        registry.counter("ops").inc(b="2", a="1")
+        snapshot = registry.snapshot()
+        assert list(snapshot["counters"]) == ["ops{a=1,b=2}"]
+
+
+class TestTracer:
+    def test_span_tree_and_phase_breakdown(self):
+        clock = iter(range(0, 1000, 10))
+        tracer = Tracer(clock=lambda: float(next(clock)))
+        root = tracer.start_span("txn")
+        root.attrs["txn"] = "new_order"
+        child = root.child("read")
+        child.finish()
+        root.attrs["outcome"] = "committed"
+        root.finish()
+        rows = tracer.phases.rows()
+        assert len(rows) == 1
+        row = rows[0]
+        assert row["txn"] == "new_order"
+        assert row["count"] == 1
+        assert "read" in row["phases"]
+        assert "other" in row["phases"]
+        assert row["outcomes"] == {"committed": 1}
+
+    def test_open_children_closed_at_root_finish(self):
+        clock = iter(range(0, 1000, 10))
+        tracer = Tracer(clock=lambda: float(next(clock)))
+        root = tracer.start_span("txn")
+        child = root.child("write")  # never finished explicitly
+        root.finish()
+        assert child.end_us == root.end_us
+
+    def test_root_cap_drops_raw_spans_not_aggregates(self):
+        clock = iter(range(0, 100000, 1))
+        tracer = Tracer(clock=lambda: float(next(clock)), max_roots=3)
+        for _ in range(5):
+            tracer.start_span("txn").finish()
+        payload = tracer.to_dict()
+        assert payload["finished_roots"] == 5
+        assert payload["kept"] == 3
+        assert payload["dropped"] == 2
+
+    def test_span_ids_are_deterministic(self):
+        def make():
+            clock = iter(range(0, 100, 1))
+            tracer = Tracer(clock=lambda: float(next(clock)))
+            for _ in range(3):
+                span = tracer.start_span("txn")
+                span.child("read").finish()
+                span.finish()
+            return tracer.to_dict()
+
+        assert make() == make()
+
+    def test_breakdown_ignores_unfinished_roots(self):
+        tracer = Tracer(clock=lambda: 0.0)
+        tracer.start_span("txn")  # abandoned
+        assert PhaseBreakdown().rows() == []
+        assert tracer.phases.rows() == []
+
+
+class TestExporters:
+    def _snapshot(self):
+        hub = Observability()
+        hub.registry.counter("ops", "operations").inc(5, node="0")
+        hub.registry.gauge("depth").set(2.0)
+        hub.registry.histogram("lat").observe(3.0)
+        span = hub.tracer.start_span("txn")
+        span.attrs["outcome"] = "committed"
+        span.child("commit").finish()
+        span.finish()
+        return hub.snapshot()
+
+    def test_snapshot_validates(self):
+        assert validate_snapshot(self._snapshot()) == []
+
+    def test_validation_catches_problems(self):
+        snapshot = self._snapshot()
+        snapshot["schema"] = "bogus/9"
+        del snapshot["gauges"]
+        problems = validate_snapshot(snapshot)
+        assert len(problems) >= 2
+
+    def test_json_round_trip_is_stable(self):
+        snapshot = self._snapshot()
+        assert json.loads(to_json(snapshot)) == snapshot
+
+    def test_prometheus_text_format(self):
+        text = to_prometheus(self._snapshot())
+        assert 'ops{node="0"} 5' in text
+        assert "# TYPE ops counter" in text
+        assert "# TYPE lat histogram" in text
+        assert 'le="+Inf"' in text
+        assert "lat_count 1" in text
+
+    def test_phase_table_rows(self):
+        rows = phase_table_rows(self._snapshot())
+        assert len(rows) == 1
+        assert rows[0][0] == "txn"
+        assert rows[0][1] == 1  # count
+
+
+class TestEnvFlag:
+    def test_disabled_by_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_OBS", raising=False)
+        assert not obs_enabled()
+
+    def test_zero_means_off(self, monkeypatch):
+        monkeypatch.setenv("REPRO_OBS", "0")
+        assert not obs_enabled()
+
+    def test_enabled(self, monkeypatch):
+        monkeypatch.setenv("REPRO_OBS", "1")
+        assert obs_enabled()
+
+
+class TestSimulatedObservability:
+    def _run(self, **overrides):
+        deployment = SimulatedTell(tiny_config(**overrides))
+        deployment.load()
+        metrics = deployment.run()
+        return metrics
+
+    def test_snapshot_emitted_and_valid(self):
+        metrics = self._run()
+        snapshot = metrics.obs_snapshot
+        assert snapshot is not None
+        assert validate_snapshot(snapshot) == []
+        assert snapshot["meta"]["clock"] == "sim"
+        rows = snapshot["phases"]["rows"]
+        assert rows, "expected a populated phase breakdown"
+        for row in rows:
+            assert "snapshot" in row["phases"]
+            assert "commit" in row["phases"]
+
+    def test_identical_snapshots_across_same_seed_runs(self):
+        first = self._run().obs_snapshot
+        second = self._run().obs_snapshot
+        assert json.dumps(first, sort_keys=True) == \
+            json.dumps(second, sort_keys=True)
+
+    def test_digest_unchanged_by_observability(self):
+        with_obs = self._run()
+        without = self._run(observability=False)
+        assert without.obs_snapshot is None
+        assert with_obs.digest() == without.digest()
+
+    def test_disabled_run_has_no_tracer_attached(self):
+        deployment = SimulatedTell(tiny_config(observability=False))
+        assert deployment.obs is None
+        deployment.load()
+        deployment.run()
+        for pn, _pool, _cm, _indexes in deployment._pn_handles:
+            assert pn.obs is None
