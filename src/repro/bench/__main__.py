@@ -187,6 +187,18 @@ def main(argv=None) -> int:
                         help=f"one or more of: {', '.join(EXPERIMENTS)}")
     parser.add_argument("--list", action="store_true",
                         help="list available experiments")
+    parser.add_argument("--suite", choices=("scale",),
+                        help="run a benchmark suite instead of the paper "
+                             "experiments (scale: 16/64/128-node + "
+                             "100-warehouse deployments, appended to the "
+                             "perf report)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="with --suite: run only the smoke-sized "
+                             "configuration (the CI gate)")
+    parser.add_argument("--report", default="BENCH_perf.json",
+                        help="with --suite: perf report to merge results "
+                             "into (default: BENCH_perf.json); '-' skips "
+                             "the write")
     parser.add_argument("--profile", choices=("smoke", "quick", "full"),
                         help="sizing profile (default: REPRO_BENCH_PROFILE "
                              "or 'quick')")
@@ -204,6 +216,19 @@ def main(argv=None) -> int:
                              "and write one metrics snapshot per run into "
                              "DIR (default: obs-snapshots/)")
     args = parser.parse_args(argv)
+
+    if args.suite == "scale":
+        from repro.bench.scale import (merge_scale_report, render_scale_curve,
+                                       run_scale_suite)
+
+        if args.sanitize:
+            os.environ["REPRO_SANITIZE"] = "1"
+        points = run_scale_suite(smoke=args.smoke)
+        print(render_scale_curve(points))
+        if args.report != "-":
+            merge_scale_report(args.report, points)
+            print(f"[scale points merged into {args.report}]")
+        return 0
 
     if args.list or not args.experiments:
         for name in EXPERIMENTS:

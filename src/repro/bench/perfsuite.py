@@ -295,7 +295,21 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="repetitions per benchmark, best kept (default 3)")
     parser.add_argument("--smoke", action="store_true",
                         help="tiny workloads, one repetition (CI smoke)")
+    parser.add_argument("--render-scale", action="store_true",
+                        help="print the events/s-vs-deployment-size curve "
+                             "from the report's 'scale' section (written "
+                             "by `python -m repro.bench --suite scale`) "
+                             "and exit without benchmarking")
     args = parser.parse_args(argv)
+
+    if args.render_scale:
+        from repro.bench.scale import render_scale_curve
+
+        path = args.output if args.output != "-" else "BENCH_perf.json"
+        with open(path, "r", encoding="utf-8") as handle:
+            points = json.load(handle).get("scale", {}).get("points", [])
+        print(render_scale_curve(points))
+        return 0
 
     # Load the baseline before benchmarking so a bad path fails in
     # milliseconds, not after minutes of measurement.

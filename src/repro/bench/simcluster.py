@@ -31,6 +31,7 @@ from repro.core.commit_manager import CommitManager
 from repro.core.processing_node import ProcessingNode
 from repro.dispatch import (
     KIND_BATCH,
+    KIND_CM_ABORTED,
     KIND_CM_COMMITTED,
     KIND_CM_START,
     KIND_COMPUTE,
@@ -44,6 +45,7 @@ from repro.dispatch import (
     attach_all,
     compose,
     kind_of,
+    kind_table,
 )
 from repro.errors import TellError, TransactionAborted
 from repro.net.profiles import NetworkProfile, profile_by_name
@@ -155,6 +157,12 @@ class SimFabric:
         # Per-run constants of the CM round trip, hoisted off the hot path.
         self._cm_wire_us = self.profile.one_way(CM_MESSAGE_BYTES)
         self._cm_service_us = SN_SERVICE_CM_US + self.profile.server_cpu_per_msg_us
+        #: PN<->SN message coalescing (the paper's batching knob applied
+        #: to implicit, co-timed single-key traffic).  ``_pending`` maps
+        #: (pn_pool, node_id) to the ops accumulated at the current
+        #: timestamp; a flush callback drains each group as one message.
+        self.coalescing = getattr(config, "coalescing", False)
+        self._pending: Dict[Tuple[Any, int], List[Tuple[Any, int, Any]]] = {}
 
     # -- top-level dispatch ------------------------------------------------------
 
@@ -170,6 +178,8 @@ class SimFabric:
         """
         kind = kind_of(request)
         if kind == KIND_STORE:
+            if self.coalescing:
+                return (yield from self._perform_coalesced(pn_pool, request))
             return (yield from self._perform_single(pn_pool, request))
         if kind == KIND_COMPUTE:
             now = self.sim.now
@@ -196,28 +206,44 @@ class SimFabric:
 
     # -- storage messages ------------------------------------------------------------
 
-    def _perform_single(
+    def prepare_single(
         self, pn_pool: CorePool, op: effects.StoreRequest
-    ) -> Generator:
-        """One single-key op: the degenerate one-message batch.
+    ) -> Tuple[_Slot, float]:
+        """Non-generator core of one single-key op: the degenerate
+        one-message batch.
 
-        Identical timing and state transitions to ``_perform_batch`` with
-        one op, minus the grouping bookkeeping -- most requests the
-        protocol issues outside explicit batches land here.
+        Performs every reservation and schedules the state transition,
+        then returns ``(slot, wait_us)`` and leaves the single suspension
+        to the caller -- the zero-allocation driver loop in
+        :meth:`SimulatedTell._drive` yields one reusable Delay instead of
+        instantiating a sub-generator per request.  Routing is inlined
+        (partitioner + master lookup) so the hot path allocates nothing
+        beyond the result slot.
         """
-        routing = self.cluster.routing(op)
+        cluster = self.cluster
+        partition_id = cluster.partitioner.partition_of(op.key)
+        node_id = cluster.partition_map.assignments[partition_id].replicas[0]
         now = self.sim.now
         t_send = now
         client_cpu = self.profile.client_cpu_per_msg_us
         if client_cpu > 0:
             _s, t_send = pn_pool.reserve(t_send, client_cpu)
         slot, t_done = self._send_group(
-            t_send, routing.node_id, [(0, op, routing.partition_id)]
+            t_send, node_id, [(0, op, partition_id)]
         )
         if client_cpu > 0:
             _s, t_done = pn_pool.reserve(t_done, client_cpu)
-        if t_done > now:
-            yield Delay(t_done - now)
+        return slot, t_done - now
+
+    def _perform_single(
+        self, pn_pool: CorePool, op: effects.StoreRequest
+    ) -> Generator:
+        """Generator wrapper over :meth:`prepare_single` -- most requests
+        the protocol issues outside explicit batches land here (or on the
+        driver's inlined equivalent)."""
+        slot, wait = self.prepare_single(pn_pool, op)
+        if wait > 0:
+            yield Delay(wait)
         if slot.error is not None:
             raise slot.error
         return slot.value[0]
@@ -268,6 +294,64 @@ class SimFabric:
         if error is not None:
             raise error
         return results
+
+    def _perform_coalesced(
+        self, pn_pool: CorePool, op: effects.StoreRequest
+    ) -> Generator:
+        """One single-key op under the coalescing knob (Section 7 batching).
+
+        Co-timed ops from the same PN to the same storage node aggregate
+        into one fabric message: the first op of a (pn, node) group at the
+        current instant schedules a same-time flush callback; every op
+        parks on a private event until the group's shared response lands.
+        The group pays one wire latency plus the *summed* serialization
+        and service cost -- exactly the paper's middleware batching --
+        instead of one full round trip per op.
+
+        Determinism: group membership and flush order ride the kernel's
+        same-time ready FIFO, so a fixed seed reproduces the identical
+        grouping, timing, and digest on every invocation.
+        """
+        cluster = self.cluster
+        partition_id = cluster.partitioner.partition_of(op.key)
+        node_id = cluster.partition_map.assignments[partition_id].replicas[0]
+        key = (pn_pool, node_id)
+        event = self.sim.event()
+        group = self._pending.get(key)
+        if group is None:
+            self._pending[key] = [(op, partition_id, event)]
+            self.sim.call_at(
+                self.sim.now, lambda: self._flush_coalesced(key)
+            )
+        else:
+            group.append((op, partition_id, event))
+        slot, position = yield event
+        if slot.error is not None:
+            raise slot.error
+        return slot.value[position]
+
+    def _flush_coalesced(self, key: Tuple[Any, int]) -> None:
+        """Ship one accumulated (pn, node) group as a single message."""
+        pn_pool, node_id = key
+        group = self._pending.pop(key)
+        now = self.sim.now
+        t_send = now
+        client_cpu = self.profile.client_cpu_per_msg_us
+        if client_cpu > 0:
+            _s, t_send = pn_pool.reserve(t_send, client_cpu)
+        members = [
+            (position, op, pid)
+            for position, (op, pid, _event) in enumerate(group)
+        ]
+        slot, t_response = self._send_group(t_send, node_id, members)
+        if client_cpu > 0:
+            _s, t_response = pn_pool.reserve(t_response, client_cpu)
+
+        def deliver() -> None:
+            for position, (_op, _pid, event) in enumerate(group):
+                event.trigger((slot, position))
+
+        self.sim.call_at(t_response, deliver)
 
     def _send_group(
         self,
@@ -414,25 +498,24 @@ class SimFabric:
 
     # -- commit manager messages -----------------------------------------------------
 
-    def _perform_cm(
-        self, pn_pool: CorePool, cm_index: int,
-        request: effects.CommitManagerRequest, pn_id: int = -1,
-        kind: int = -1,
-    ) -> Generator:
-        """One round trip to the processing node's commit manager.
+    def prepare_cm(
+        self, cm_index: int, request: effects.CommitManagerRequest,
+        pn_id: int, kind: int,
+    ) -> Tuple[Any, float]:
+        """Non-generator core of one commit-manager round trip.
 
         Manager state executes at issue time (its operations are
         microsecond-cheap and commute across the tiny reordering window);
         the latency charged is arrival + queueing + response, plus one
         storage round trip whenever serving a start required refilling the
-        manager's tid range from the shared counter.
+        manager's tid range from the shared counter.  Returns
+        ``(result, wait_us)``; ``wait_us`` is always positive (two wire
+        hops), the caller owns the suspension.
         """
         manager = self.commit_managers[cm_index]
         pool = self.cm_pools[cm_index]
         now = self.sim.now
         self.stats.messages += 1
-        if kind < 0:
-            kind = kind_of(request)
         if kind == KIND_CM_START:
             result: Any = manager.start(pn_id)
         elif kind == KIND_CM_COMMITTED:
@@ -446,7 +529,18 @@ class SimFabric:
         t_response = t_end + cm_wire
         if result is not None and result.range_refilled:
             t_response += self.profile.round_trip() + 2.0
-        yield Delay(t_response - now)
+        return result, t_response - now
+
+    def _perform_cm(
+        self, pn_pool: CorePool, cm_index: int,
+        request: effects.CommitManagerRequest, pn_id: int = -1,
+        kind: int = -1,
+    ) -> Generator:
+        """Generator wrapper over :meth:`prepare_cm`."""
+        if kind < 0:
+            kind = kind_of(request)
+        result, wait = self.prepare_cm(cm_index, request, pn_id, kind)
+        yield Delay(wait)
         return result
 
 
@@ -673,8 +767,16 @@ class SimulatedTell:
 
         With interceptors configured, every request flows through the
         composed :mod:`repro.dispatch` chain terminating in
-        :meth:`SimFabric.perform`; the empty chain keeps the bare fast
-        path (including the inline Compute shortcut) untouched.
+        :meth:`SimFabric.perform`.  The empty chain takes the
+        zero-allocation fast path: the pre-bound exact-class kind table
+        classifies each request with one dict lookup, single-key storage
+        and CM round trips run through the non-generator ``prepare_*``
+        forms (no sub-generator, no OpRouting), and the one suspension
+        per request reuses a single mutable Delay -- the kernel consumes
+        ``duration`` synchronously at the yield, so the instance is free
+        for the next request by the time this driver resumes.  Only
+        batches, scans, and subclassed requests fall back to the generic
+        :meth:`SimFabric.perform` sub-generator.
         """
         send_value: Any = None
         throw_exc: Optional[BaseException] = None
@@ -682,7 +784,6 @@ class SimulatedTell:
         perform = fabric.perform
         sim = fabric.sim
         reserve = pool.reserve
-        compute_cls = effects.Compute
         chain = None
         if self.interceptors:
             ctx = DispatchContext(
@@ -693,6 +794,29 @@ class SimulatedTell:
                 return perform(pool, cm_index, request, pn_id)
 
             chain = compose(self.interceptors, tail, ctx)
+            while True:
+                try:
+                    if throw_exc is not None:
+                        request = gen.throw(throw_exc)
+                        throw_exc = None
+                    else:
+                        request = gen.send(send_value)
+                except StopIteration as stop:
+                    return stop.value
+                try:
+                    send_value = yield from chain(request)
+                except TellError as exc:
+                    send_value = None
+                    throw_exc = exc
+            # not reached
+
+        kind_get = kind_table().get
+        prepare_single = fabric.prepare_single
+        prepare_cm = fabric.prepare_cm
+        coalescing = fabric.coalescing
+        # Private reusable suspension: never shared across processes and
+        # never interned (unlike delay_of results), so mutating it is safe.
+        wait_delay = Delay(0.0)
         while True:
             try:
                 if throw_exc is not None:
@@ -702,22 +826,50 @@ class SimulatedTell:
                     request = gen.send(send_value)
             except StopIteration as stop:
                 return stop.value
-            if chain is not None:
-                try:
-                    send_value = yield from chain(request)
-                except TellError as exc:
-                    send_value = None
-                    throw_exc = exc
-                continue
+            kind = kind_get(request.__class__, -1)
             # Compute is the most frequent request (charged per row) and
-            # cannot fail; handling it here skips a sub-generator per call.
-            if request.__class__ is compute_cls:
+            # cannot fail; single-key storage ops are next.
+            if kind == KIND_COMPUTE:
                 now = sim.now
                 _start, end = reserve(now, request.duration)
                 if end > now:
-                    yield Delay(end - now)
+                    wait_delay.duration = end - now
+                    yield wait_delay
                 send_value = None
                 continue
+            if kind == KIND_STORE and not coalescing:
+                try:
+                    slot, wait = prepare_single(pool, request)
+                except TellError as exc:
+                    send_value = None
+                    throw_exc = exc
+                    continue
+                if wait > 0:
+                    wait_delay.duration = wait
+                    yield wait_delay
+                error = slot.error
+                if error is not None:
+                    send_value = None
+                    throw_exc = error
+                else:
+                    send_value = slot.value[0]
+                continue
+            if KIND_CM_START <= kind <= KIND_CM_ABORTED:
+                try:
+                    result, wait = prepare_cm(cm_index, request, pn_id, kind)
+                except TellError as exc:
+                    send_value = None
+                    throw_exc = exc
+                    continue
+                wait_delay.duration = wait
+                yield wait_delay
+                send_value = result
+                continue
+            if kind == KIND_SLEEP:
+                yield delay_of(request.duration)
+                send_value = None
+                continue
+            # Batches, scans, coalesced stores, subclassed requests.
             try:
                 send_value = yield from perform(
                     pool, cm_index, request, pn_id

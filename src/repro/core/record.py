@@ -9,6 +9,14 @@ decision ("minimize network requests over network traffic").
 Records are immutable: transactions build new record values and install
 them with LL/SC, so a record object can safely live in shared buffers and
 in the store at the same time.
+
+Storage layout: a record keeps its versions as two parallel tuples --
+``tids`` and ``payloads``, both newest first -- so the visibility scan and
+GC walk flat memory instead of chasing one ``Version`` object per entry.
+The slab layout is an implementation detail: the public API (``versions``,
+``latest_visible``, ``with_version``, ...) is unchanged, and ``versions``
+materializes :class:`Version` wrappers lazily for the sanitizers, tests,
+and ``repr``.
 """
 
 from __future__ import annotations
@@ -63,31 +71,114 @@ class Version:
 
 
 class VersionedRecord:
-    """An immutable set of versions, newest first."""
+    """An immutable set of versions, newest first.
 
-    __slots__ = ("versions", "_size")
+    ``tids`` and ``payloads`` are the parallel slab tuples (read-only;
+    never mutate them).  Hot readers use :meth:`visible_index` plus a
+    direct ``payloads[index]`` load; everything else goes through the
+    Version-object API below.
+    """
+
+    __slots__ = ("tids", "payloads", "_size", "_versions")
 
     def __init__(self, versions: Iterable[Version]):
         ordered = sorted(versions, key=lambda version: version.tid, reverse=True)
-        self.versions = tuple(ordered)
+        self.tids = tuple(version.tid for version in ordered)
+        self.payloads = tuple(version.payload for version in ordered)
         self._size = -1
+        self._versions = None
+
+    @classmethod
+    def _from_slabs(
+        cls, tids: Tuple[int, ...], payloads: Tuple[object, ...]
+    ) -> "VersionedRecord":
+        """Internal: wrap already newest-first parallel tuples."""
+        record = object.__new__(cls)
+        record.tids = tids
+        record.payloads = payloads
+        record._size = -1
+        record._versions = None
+        return record
 
     @classmethod
     def _from_sorted(cls, versions: Tuple[Version, ...]) -> "VersionedRecord":
-        """Internal: wrap an already newest-first tuple without re-sorting."""
-        record = object.__new__(cls)
-        record.versions = versions
-        record._size = -1
+        """Internal: wrap an already newest-first Version tuple."""
+        record = cls._from_slabs(
+            tuple(version.tid for version in versions),
+            tuple(version.payload for version in versions),
+        )
+        record._versions = tuple(versions)
         return record
 
     @classmethod
     def initial(cls, tid: int, payload) -> "VersionedRecord":
-        return cls._from_sorted((Version(tid, payload),))
+        return cls._from_slabs((tid,), (payload,))
 
     # -- reads -----------------------------------------------------------------
 
+    @property
+    def versions(self) -> Tuple[Version, ...]:
+        """Version-object view of the slabs, materialized once on demand."""
+        cached = self._versions
+        if cached is None:
+            cached = tuple(
+                Version(tid, payload)
+                for tid, payload in zip(self.tids, self.payloads)
+            )
+            self._versions = cached
+        return cached
+
     def version_numbers(self) -> Tuple[int, ...]:
-        return tuple(version.tid for version in self.versions)
+        return self.tids
+
+    def visible_index(self, snapshot: SnapshotDescriptor) -> int:
+        """Index into ``tids``/``payloads`` of the version the snapshot
+        reads, or ``-1`` when nothing is visible (Section 4.2).
+
+        This is the zero-allocation core of :meth:`latest_visible`; the
+        hot read paths call it directly and index ``payloads``.
+        """
+        tids = self.tids
+        if not tids:
+            return -1
+        base = snapshot.base
+        if tids[0] <= base:
+            # Short-circuit: the newest version predates the snapshot base,
+            # so it is visible and by ordering it is the maximum.
+            return 0
+        bits = snapshot.bits
+        index = 0
+        for tid in tids:
+            if tid <= base or bits >> (tid - base - 1) & 1:
+                return index
+            index += 1
+        return -1
+
+    def visible_payload(self, snapshot: SnapshotDescriptor) -> Optional[object]:
+        """The payload the snapshot reads, or ``None`` when nothing is
+        visible *or* the visible version is a tombstone.
+
+        Zero-allocation companion to :meth:`latest_visible` for callers
+        that only want live row data (reads, scans); callers that must
+        distinguish "deleted" from "absent" use ``visible_index`` or
+        ``latest_visible`` instead.
+        """
+        # visible_index, manually inlined: this is the per-read hot path.
+        tids = self.tids
+        if not tids:
+            return None
+        base = snapshot.base
+        if tids[0] <= base:
+            payload = self.payloads[0]
+            return None if payload is TOMBSTONE else payload
+        bits = snapshot.bits
+        index = 0
+        for tid in tids:
+            if tid <= base or bits >> (tid - base - 1) & 1:
+                payload = self.payloads[index]
+                return None if payload is TOMBSTONE else payload
+            index += 1
+        return None
 
     def latest_visible(self, snapshot: SnapshotDescriptor) -> Optional[Version]:
         """The version the snapshot reads: max visible tid (Section 4.2).
@@ -95,31 +186,38 @@ class VersionedRecord:
         Returns ``None`` when no version is visible; a visible tombstone is
         returned as-is (callers treat it as "record deleted").
         """
-        versions = self.versions
-        if not versions:
+        # visible_index, manually inlined; serves from the memoized
+        # Version view, so repeated reads of an immutable record return
+        # the same wrapper object, alloc-free.
+        tids = self.tids
+        if not tids:
             return None
         base = snapshot.base
-        newest = versions[0]  # newest first
-        if newest.tid <= base:
-            # Short-circuit: the newest version predates the snapshot base,
-            # so it is visible and by ordering it is the maximum.
-            return newest
+        if tids[0] <= base:
+            versions = self._versions
+            return versions[0] if versions is not None else self.versions[0]
         bits = snapshot.bits
-        for version in versions:
-            tid = version.tid
+        index = 0
+        for tid in tids:
             if tid <= base or bits >> (tid - base - 1) & 1:
-                return version
+                versions = self._versions
+                if versions is None:
+                    versions = self.versions
+                return versions[index]
+            index += 1
         return None
 
     def get(self, tid: int) -> Optional[Version]:
-        for version in self.versions:
-            if version.tid == tid:
-                return version
-        return None
+        try:
+            index = self.tids.index(tid)
+        except ValueError:
+            return None
+        return self.versions[index]
 
     @property
     def newest_tid(self) -> int:
-        return self.versions[0].tid if self.versions else 0
+        tids = self.tids
+        return tids[0] if tids else 0
 
     def payload_of(self, tid: int) -> Optional[object]:
         """Read-only payload lookup by creating tid (None when absent).
@@ -128,36 +226,76 @@ class VersionedRecord:
         object itself (records are immutable, so sharing is safe) without
         exposing the Version wrapper.
         """
-        for version in self.versions:
-            if version.tid == tid:
-                return version.payload
-        return None
+        try:
+            index = self.tids.index(tid)
+        except ValueError:
+            return None
+        return self.payloads[index]
 
     # -- writes (all return new records) -------------------------------------------
 
     def with_version(self, version: Version) -> "VersionedRecord":
-        """Insert ``version`` into the (already sorted) version tuple.
+        """Insert ``version`` into the (already sorted) slabs.
 
         A single scan finds the insertion point -- usually index 0, since
         new versions almost always carry the highest tid -- instead of
         re-sorting the whole set on every write.
         """
         tid = version.tid
-        versions = self.versions
-        index = len(versions)
-        for position, existing in enumerate(versions):  # newest first
-            if existing.tid == tid:
+        tids = self.tids
+        index = len(tids)
+        for position, existing in enumerate(tids):  # newest first
+            if existing == tid:
                 raise InvalidState(f"record already has version {tid}")
-            if existing.tid < tid:
+            if existing < tid:
                 index = position
                 break
-        return VersionedRecord._from_sorted(
-            versions[:index] + (version,) + versions[index:]
+        return VersionedRecord._from_slabs(
+            tids[:index] + (tid,) + tids[index:],
+            self.payloads[:index] + (version.payload,) + self.payloads[index:],
         )
 
+    def updated(self, tid: int, payload, lav: int) -> "VersionedRecord":
+        """``collect_garbage(lav)`` + prepend of a new newest version, fused.
+
+        The commit path installs exactly this shape -- the new tid is a
+        fresh commit timestamp, so it exceeds every existing tid -- and
+        the fused form builds the surviving slabs in one pass instead of
+        allocating an intermediate record.  Falls back to the two-step
+        path when the tid is not the newest (which also raises on
+        duplicates, matching :meth:`with_version`).
+
+        Like :meth:`collect_garbage`, the set of dropped versions is
+        defined by :meth:`collectable_versions` -- the G-set definition
+        stays the single (test-mutable) source of truth.
+        """
+        tids = self.tids
+        if tids and tids[0] >= tid:
+            return self.collect_garbage(lav).with_version(Version(tid, payload))
+        garbage = self.collectable_versions(lav)
+        if not garbage:
+            return VersionedRecord._from_slabs(
+                (tid,) + tids, (payload,) + self.payloads
+            )
+        drop = set(garbage)
+        payloads = self.payloads
+        new_tids = [tid]
+        new_payloads = [payload]
+        for position, existing in enumerate(tids):
+            if existing not in drop:
+                new_tids.append(existing)
+                new_payloads.append(payloads[position])
+        return VersionedRecord._from_slabs(tuple(new_tids), tuple(new_payloads))
+
     def without_version(self, tid: int) -> "VersionedRecord":
-        remaining = tuple(v for v in self.versions if v.tid != tid)
-        return VersionedRecord._from_sorted(remaining)
+        try:
+            index = self.tids.index(tid)
+        except ValueError:
+            return self
+        return VersionedRecord._from_slabs(
+            self.tids[:index] + self.tids[index + 1:],
+            self.payloads[:index] + self.payloads[index + 1:],
+        )
 
     # -- garbage collection (Section 5.4) --------------------------------------------
 
@@ -167,36 +305,53 @@ class VersionedRecord:
         The newest globally-visible version always survives so at least
         one version of the record remains.
         """
-        candidates = [v.tid for v in self.versions if v.tid <= lav]
+        candidates = [tid for tid in self.tids if tid <= lav]
         if len(candidates) <= 1:
             return []
-        newest = max(candidates)
-        return [tid for tid in candidates if tid != newest]
+        return candidates[1:]  # newest first: candidates[0] == max(C)
 
     def collect_garbage(self, lav: int) -> "VersionedRecord":
-        """Drop every version in G; may return ``self`` unchanged."""
-        garbage = set(self.collectable_versions(lav))
+        """Drop every version in G; may return ``self`` unchanged.
+
+        G comes from :meth:`collectable_versions` so a (deliberately)
+        broken G-set definition propagates here -- the GC sanitizer's
+        seeded-mutation tests rely on that coupling.
+        """
+        garbage = self.collectable_versions(lav)
         if not garbage:
             return self
-        return VersionedRecord._from_sorted(
-            tuple(v for v in self.versions if v.tid not in garbage)
-        )
+        drop = set(garbage)
+        tids = self.tids
+        payloads = self.payloads
+        keep_tids = []
+        keep_payloads = []
+        for position, existing in enumerate(tids):
+            if existing not in drop:
+                keep_tids.append(existing)
+                keep_payloads.append(payloads[position])
+        return VersionedRecord._from_slabs(tuple(keep_tids), tuple(keep_payloads))
 
     def fully_deleted(self, lav: int) -> bool:
         """True when the record is just a tombstone no snapshot older than
         ``lav`` can resurrect -- the cell itself may then be removed."""
         live = self.collect_garbage(lav)
-        return all(v.is_tombstone for v in live.versions)
+        tombstone = TOMBSTONE
+        return all(payload is tombstone for payload in live.payloads)
 
     # -- sizing -----------------------------------------------------------------
 
     def approx_size(self) -> int:
         if self._size < 0:
-            self._size = 8 + sum(v.approx_size() for v in self.versions)
+            total = 8
+            for payload in self.payloads:
+                # 8 per version header, +1 for a tombstone marker or the
+                # serialized payload (same arithmetic as Version.approx_size).
+                total += 9 if payload is TOMBSTONE else 8 + approx_size(payload)
+            self._size = total
         return self._size
 
     def __len__(self) -> int:
-        return len(self.versions)
+        return len(self.tids)
 
     def __repr__(self) -> str:
         return f"VersionedRecord({list(self.versions)!r})"

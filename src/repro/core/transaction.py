@@ -22,7 +22,7 @@ import enum
 from typing import Any, Dict, Generator, List, Optional, Tuple
 
 from repro import effects
-from repro.core.record import TOMBSTONE, Version, VersionedRecord
+from repro.core.record import TOMBSTONE, VersionedRecord
 from repro.core.snapshot import TxnStart
 from repro.core.spaces import DATA_SPACE
 from repro.core.txlog import (
@@ -126,10 +126,7 @@ class Transaction:
         record, _cell_version = self._cache[key]
         if record is None:
             return None
-        version = record.latest_visible(self.snapshot)
-        if version is None or version.is_tombstone:
-            return None
-        return version.payload
+        return record.visible_payload(self.snapshot)
 
     # -- writes (buffered until commit) ----------------------------------------------
 
@@ -277,7 +274,6 @@ class Transaction:
         puts: List[effects.PutIfVersion] = []
         new_records: Dict[Any, VersionedRecord] = {}
         for key, payload in self._writes.items():
-            version = Version(self.tid, payload)
             if key in self._inserted:
                 record = VersionedRecord.initial(self.tid, payload)
                 expected = 0
@@ -288,9 +284,9 @@ class Transaction:
                     # treat as insert-at-version-0 (LL/SC still protects us).
                     record = VersionedRecord.initial(self.tid, payload)
                 else:
-                    record = base_record.collect_garbage(self.lav).with_version(
-                        version
-                    )
+                    # Fused eager-GC + install (collect_garbage + with_version
+                    # in one slab pass; the tid is a fresh commit timestamp).
+                    record = base_record.updated(self.tid, payload, self.lav)
             puts.append(effects.PutIfVersion(DATA_SPACE, key, record, expected))
             new_records[key] = record
         return puts, new_records

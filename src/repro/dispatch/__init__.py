@@ -26,6 +26,7 @@ from repro.dispatch.core import (
     compose,
     drive_sync,
     kind_of,
+    kind_table,
 )
 from repro.dispatch.direct import Dispatcher
 from repro.dispatch.interceptors import (
@@ -60,6 +61,7 @@ __all__ = [
     "compose",
     "drive_sync",
     "kind_of",
+    "kind_table",
     "Dispatcher",
     "TRACE_SCHEMA",
     "RequestTrace",

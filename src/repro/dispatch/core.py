@@ -67,6 +67,18 @@ _KIND_BY_CLASS: Dict[type, int] = {
 }
 
 
+def kind_table() -> Dict[type, int]:
+    """The live exact-class kind mapping (treat as read-only).
+
+    Hot drivers pre-bind ``kind_table().get`` once and classify each
+    request with a single dict lookup, skipping even the
+    :func:`kind_of` call.  A miss (``None``/default) means a subclassed
+    request: fall back to :func:`kind_of`, which classifies it via the
+    isinstance ladder and caches the verdict in this same table.
+    """
+    return _KIND_BY_CLASS
+
+
 def _classify_slow(request: effects.Request) -> int:
     """The one isinstance ladder: classify a subclassed request and cache
     the verdict so the next instance takes the exact-class fast path."""

@@ -25,7 +25,8 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Any, Callable, Dict, Generator, Iterable, List, Optional, Tuple
+from collections import deque
+from typing import Any, Callable, Deque, Dict, Generator, Iterable, List, Optional, Tuple
 
 from repro.errors import InvalidState
 
@@ -50,18 +51,45 @@ class Delay:
 #: times).  Delay objects are immutable, so sharing one instance across
 #: yields -- even across simulators -- is safe and skips an allocation on
 #: the hot path.
+#:
+#: Capacity policy: the cache is insert-only and bounded.  Once
+#: ``_DELAY_CACHE_MAX`` distinct durations have been interned, later
+#: durations are *not* cached -- ``delay_of`` still returns a correct
+#: (fresh) ``Delay``, it just stops saving the allocation.  Nothing is
+#: ever evicted, so the recurring durations that fill the cache first
+#: (sync intervals, fixed service times) keep their pooled instances for
+#: the life of the interpreter.  ``delay_cache_info()`` exposes the
+#: occupancy so callers and tests can detect saturation instead of
+#: guessing why interning "stopped working".
 _DELAY_CACHE: Dict[float, Delay] = {}
 _DELAY_CACHE_MAX = 1024
 
 
 def delay_of(duration: float) -> Delay:
-    """A pooled :class:`Delay`; prefer this for repeated durations."""
+    """A pooled :class:`Delay`; prefer this for repeated durations.
+
+    At capacity (see ``delay_cache_info``) this degrades gracefully to a
+    plain allocation per call; the returned value is indistinguishable
+    from the cached case except by identity.
+    """
     pooled = _DELAY_CACHE.get(duration)
     if pooled is None:
         pooled = Delay(duration)
         if len(_DELAY_CACHE) < _DELAY_CACHE_MAX:
             _DELAY_CACHE[duration] = pooled
     return pooled
+
+
+def delay_cache_info() -> Tuple[int, int]:
+    """``(size, capacity)`` of the delay intern pool.
+
+    ``size == capacity`` means the pool is saturated: ``delay_of`` keeps
+    returning correct delays but no longer interns new durations.  A
+    workload that feeds many distinct durations through ``delay_of``
+    (e.g. randomised think times) should construct ``Delay`` directly
+    instead of churning the pool.
+    """
+    return len(_DELAY_CACHE), _DELAY_CACHE_MAX
 
 
 class Event:
@@ -86,9 +114,17 @@ class Event:
         self.triggered = True
         self.value = value
         waiters, self._waiters = self._waiters, []
-        schedule = self.sim._schedule
-        for process in waiters:
-            schedule(0.0, process, value)
+        sim = self.sim
+        if sim._policy is None:
+            # Same-time wakes go straight to the ready FIFO: an O(1)
+            # append instead of a heap push per waiter.
+            append = sim._ready.append
+            for process in waiters:
+                append((process, value))
+        else:
+            schedule = sim._schedule
+            for process in waiters:
+                schedule(0.0, process, value)
 
     def add_waiter(self, process: "Process") -> None:
         if self.triggered:
@@ -196,10 +232,37 @@ class Simulator:
 
     def __init__(self, policy: Optional[SchedulerPolicy] = None) -> None:
         self.now: float = 0.0
+        #: Event heap -- used only when a :class:`SchedulerPolicy` is
+        #: installed (policies mint their own (when, seq) pairs, which
+        #: breaks the monotone-seq invariant the calendar queue relies
+        #: on).  The policy-``None`` fast path never touches it.
         self._queue: List[Tuple[float, int, Optional[Process], Any]] = []
+        #: Calendar queue (policy ``None`` only): one FIFO bucket per
+        #: distinct future timestamp plus a min-heap of the distinct
+        #: times themselves.  Because the global sequence counter is
+        #: monotone, append order within a bucket *is* seq order, so
+        #: "pop the earliest time, replay its bucket in order" delivers
+        #: the exact (when, seq) order of the all-heap kernel -- while a
+        #: heap of N events shrinks to a heap of (distinct times) and
+        #: every co-timed event costs an O(1) append/iteration instead
+        #: of an O(log N) sift.
+        self._buckets: Dict[float, List[Tuple[Optional[Process], Any]]] = {}
+        self._horizon: List[float] = []
+        #: Same-time ready FIFO (policy ``None`` only).  Every schedule
+        #: for the *current* timestamp lands here instead of a bucket.
+        #: Ordering invariant: a bucket entry at time T was pushed while
+        #: the clock was still < T (zero-delay schedules at T are routed
+        #: here instead), so all bucket entries co-timed with the clock
+        #: precede every ready entry in global sequence order, and the
+        #: deque itself is FIFO -- together that reproduces the exact
+        #: (when, seq) order of the all-heap kernel.
+        self._ready: Deque[Tuple[Optional[Process], Any]] = deque()
         self._next_seq = itertools.count().__next__
         self._stopped = False
         self._policy = policy
+        #: Events delivered so far (resumes + callbacks); the scale suite
+        #: reports events/s from this.
+        self.events_processed: int = 0
 
     # -- scheduling ------------------------------------------------------
 
@@ -210,24 +273,41 @@ class Simulator:
         return process
 
     def _schedule(self, delay: float, process: Process, value: Any) -> None:
-        when = self.now + delay
         if self._policy is None:
-            seq = self._next_seq()
-        else:
-            when, seq = self._policy.on_schedule(when, self.now, process)
+            if delay <= 0.0:
+                self._ready.append((process, value))
+                return
+            when = self.now + delay
+            bucket = self._buckets.get(when)
+            if bucket is None:
+                self._buckets[when] = [(process, value)]
+                heapq.heappush(self._horizon, when)
+            else:
+                bucket.append((process, value))
+            return
+        when, seq = self._policy.on_schedule(self.now + delay, self.now, process)
         heapq.heappush(self._queue, (when, seq, process, value))
 
     def call_at(self, when: float, callback: Callable[[], None]) -> None:
         """Run a plain callback at absolute simulated time ``when``.
 
-        Callbacks are scheduled directly on the event heap (no Process
-        wrapper) -- they are the fabric's hot path.
+        Callbacks for the current instant (or the past) join the ready
+        FIFO; future callbacks go into their timestamp's bucket.  Either
+        way they run without a Process wrapper -- they are the fabric's
+        hot path.
         """
-        when = max(when, self.now)
         if self._policy is None:
-            seq = self._next_seq()
-        else:
-            when, seq = self._policy.on_schedule(when, self.now, None)
+            if when <= self.now:
+                self._ready.append((None, callback))
+                return
+            bucket = self._buckets.get(when)
+            if bucket is None:
+                self._buckets[when] = [(None, callback)]
+                heapq.heappush(self._horizon, when)
+            else:
+                bucket.append((None, callback))
+            return
+        when, seq = self._policy.on_schedule(max(when, self.now), self.now, None)
         heapq.heappush(self._queue, (when, seq, None, callback))
 
     def event(self) -> Event:
@@ -244,30 +324,196 @@ class Simulator:
         """The single event loop behind :meth:`run` and
         :meth:`run_until_complete`.
 
-        Pops events until the queue empties, :meth:`stop` is called,
+        Runs events until both queues empty, :meth:`stop` is called,
         ``target`` finishes, or the next event lies beyond ``until``
         (pause: event stays queued) / ``limit`` (error).
+
+        Delivery is batched per timestamp: the loop replays the calendar
+        bucket co-timed with the clock in append (= sequence) order,
+        then the same-time ready FIFO (which only grows by appends while
+        draining), and only then pays the ``until``/``limit``
+        comparisons and advances time -- once per timestamp instead of
+        once per event.  ``Process._step`` is inlined for the
+        Delay/Event fast paths; all of this preserves the exact
+        (when, seq) delivery order of the all-heap kernel (see
+        ``_buckets``/``_ready``), which the determinism digests pin
+        down.
+        """
+        if self._policy is not None:
+            self._drain_policy(until, target, limit)
+            return
+        buckets = self._buckets
+        horizon = self._horizon
+        ready = self._ready
+        pop = heapq.heappop
+        push = heapq.heappush
+        popleft = ready.popleft
+        append = ready.append
+        delay_cls = Delay
+        event_cls = Event
+        events = 0
+        try:
+            while horizon or ready:
+                if self._stopped or (target is not None and target.finished):
+                    return
+                now = self.now
+                # (1) The bucket co-timed with the clock (every entry was
+                # pushed before the clock reached `now`, so the whole
+                # bucket precedes every ready entry).  An early return
+                # must leave the unconsumed suffix queued, hence the
+                # index walk instead of a destructive pop.
+                if horizon and horizon[0] == now:
+                    bucket = buckets[now]
+                    index = 0
+                    while index < len(bucket):
+                        process, value = bucket[index]
+                        index += 1
+                        events += 1
+                        if process is None:
+                            value()  # plain callback scheduled via call_at
+                        elif not process.finished:
+                            try:
+                                yielded = process.generator.send(value)
+                            except StopIteration as stop:
+                                process.finished = True
+                                process.result = stop.value
+                                process.done_event.trigger(stop.value)
+                            else:
+                                cls = yielded.__class__
+                                if cls is delay_cls:
+                                    duration = yielded.duration
+                                    if duration > 0.0:
+                                        when = now + duration
+                                        slot = buckets.get(when)
+                                        if slot is None:
+                                            buckets[when] = [(process, None)]
+                                            push(horizon, when)
+                                        else:
+                                            slot.append((process, None))
+                                    else:
+                                        append((process, None))
+                                elif cls is event_cls:
+                                    if yielded.triggered:
+                                        append((process, yielded.value))
+                                    else:
+                                        yielded._waiters.append(process)
+                                else:
+                                    self._resume_slow(process, yielded)
+                        if self._stopped or (
+                            target is not None and target.finished
+                        ):
+                            del bucket[:index]
+                            if not bucket:
+                                del buckets[now]
+                                pop(horizon)
+                            return
+                    del buckets[now]
+                    pop(horizon)
+                # (2) Same-time FIFO wakes; appends during the drain keep
+                # their scheduling order.
+                while ready:
+                    process, value = popleft()
+                    events += 1
+                    if process is None:
+                        value()
+                    elif not process.finished:
+                        try:
+                            yielded = process.generator.send(value)
+                        except StopIteration as stop:
+                            process.finished = True
+                            process.result = stop.value
+                            process.done_event.trigger(stop.value)
+                        else:
+                            cls = yielded.__class__
+                            if cls is delay_cls:
+                                duration = yielded.duration
+                                if duration > 0.0:
+                                    when = now + duration
+                                    slot = buckets.get(when)
+                                    if slot is None:
+                                        buckets[when] = [(process, None)]
+                                        push(horizon, when)
+                                    else:
+                                        slot.append((process, None))
+                                else:
+                                    append((process, None))
+                            elif cls is event_cls:
+                                if yielded.triggered:
+                                    append((process, yielded.value))
+                                else:
+                                    yielded._waiters.append(process)
+                            else:
+                                self._resume_slow(process, yielded)
+                    if self._stopped or (target is not None and target.finished):
+                        return
+                # (3) Advance: pay the pause/limit checks once per step.
+                if not horizon:
+                    return
+                when = horizon[0]
+                if until is not None and when > until:
+                    self.now = until
+                    return
+                if limit is not None and when > limit:
+                    raise InvalidState(
+                        f"{target.name if target else 'run'} did not finish "
+                        f"before {limit}"
+                    )
+                self.now = when
+        finally:
+            self.events_processed += events
+
+    def _resume_slow(self, process: Process, yielded: Any) -> None:
+        """Out-of-line tail of the inlined ``Process._step``: Delay/Event
+        subclasses and the garbage-yield TypeError."""
+        if isinstance(yielded, Delay):
+            self._schedule(yielded.duration, process, None)
+        elif isinstance(yielded, Event):
+            yielded.add_waiter(process)
+        else:
+            raise TypeError(
+                f"process {process.name!r} yielded {yielded!r}; "
+                f"expected Delay or Event"
+            )
+
+    def _drain_policy(
+        self,
+        until: Optional[float],
+        target: Optional[Process],
+        limit: Optional[float],
+    ) -> None:
+        """Pure-heap event loop used when a :class:`SchedulerPolicy` is
+        installed.
+
+        Policies observe and perturb *every* scheduling decision, so this
+        path keeps the historical one-pop-per-event structure (no ready
+        FIFO, no inlining) -- the explorer/PCT/replay schedules in
+        :mod:`repro.san` depend on it.
         """
         queue = self._queue
         pop = heapq.heappop
-        while queue and not self._stopped:
-            if target is not None and target.finished:
-                return
-            when, _seq, process, value = queue[0]
-            if until is not None and when > until:
-                self.now = until
-                return
-            if limit is not None and when > limit:
-                raise InvalidState(
-                    f"{target.name if target else 'run'} did not finish "
-                    f"before {limit}"
-                )
-            pop(queue)
-            self.now = when
-            if process is None:
-                value()  # plain callback scheduled via call_at
-            elif not process.finished:
-                process._step(value)
+        events = 0
+        try:
+            while queue and not self._stopped:
+                if target is not None and target.finished:
+                    return
+                when, _seq, process, value = queue[0]
+                if until is not None and when > until:
+                    self.now = until
+                    return
+                if limit is not None and when > limit:
+                    raise InvalidState(
+                        f"{target.name if target else 'run'} did not finish "
+                        f"before {limit}"
+                    )
+                pop(queue)
+                self.now = when
+                events += 1
+                if process is None:
+                    value()  # plain callback scheduled via call_at
+                elif not process.finished:
+                    process._step(value)
+        finally:
+            self.events_processed += events
 
     def run(self, until: Optional[float] = None) -> float:
         """Run until the queue drains, :meth:`stop` is called, or
@@ -308,7 +554,8 @@ class Simulator:
         return SimClock(self)
 
     def pending(self) -> int:
-        return len(self._queue)
+        queued = sum(len(bucket) for bucket in self._buckets.values())
+        return len(self._queue) + queued + len(self._ready)
 
 
 def all_of(sim: Simulator, processes: Iterable[Process]) -> ProcessGenerator:

@@ -236,9 +236,11 @@ class Table:
             if rid in local or rid in deleted:
                 continue  # superseded by the transaction-local state
             if pushdown is None:
-                version = value.latest_visible(self.txn.snapshot)
-                if version is not None and not version.is_tombstone:
-                    visible.append((rid, version.payload))
+                index = value.visible_index(self.txn.snapshot)
+                if index >= 0:
+                    payload = value.payloads[index]
+                    if payload is not TOMBSTONE:
+                        visible.append((rid, payload))
             else:
                 visible.append((rid, value))  # already resolved at the SN
         for rid, row in local.items():
@@ -367,9 +369,9 @@ class Table:
         self, record: VersionedRecord, index: IndexDef, key: Tuple[Any, ...]
     ) -> bool:
         surviving = record.collect_garbage(self.txn.lav)
-        for version in surviving.versions:
-            if version.is_tombstone:
+        for payload in surviving.payloads:
+            if payload is TOMBSTONE:
                 continue
-            if self.schema.index_key_of(index, version.payload) == key:
+            if self.schema.index_key_of(index, payload) == key:
                 return True
         return False

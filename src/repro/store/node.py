@@ -258,10 +258,11 @@ class StorageNode:
                 out.append((key, cell.value, cell.version))
                 size += 16 + approx_size(cell.value)
             else:
-                version = cell.value.latest_visible(snapshot)
-                if version is None or version.is_tombstone:
+                # visible_payload resolves tombstones to None without
+                # allocating a Version wrapper (slab fast path).
+                row = cell.value.visible_payload(snapshot)
+                if row is None:
                     continue
-                row = version.payload
                 if scan_filter is not None and not scan_filter.matches(row):
                     continue
                 if projection is not None:

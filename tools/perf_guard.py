@@ -14,10 +14,18 @@ Re-runs the end-to-end TPC-C benchmark and checks it against the
   (locally observed 273..345 txns/s for the same build), which is why
   the guard takes the *best* of several runs rather than one sample.
 
+With ``--scale-smoke`` the guard instead runs the smallest ``scale``
+suite configuration (see :mod:`repro.bench.scale`) and checks it against
+the ``scale`` section of the report: digest byte-match (hard gate) plus
+the same throughput window on host events/s (soft gate).  This is the CI
+job that keeps the 64-256 node path honest without paying for the full
+sweep on every PR.
+
 Usage::
 
     python tools/perf_guard.py                     # BENCH_perf.json, best-of-3, -10%
     python tools/perf_guard.py --repeat 5 --tolerance 0.15
+    python tools/perf_guard.py --scale-smoke       # smallest scale config
 """
 
 import argparse
@@ -34,6 +42,50 @@ from repro.bench.perfsuite import run_suite  # noqa: E402
 BENCHMARK = "tpcc_e2e"
 
 
+def run_scale_smoke(args):
+    """Digest + events/s gate on the smallest scale-suite deployment."""
+    from repro.bench.scale import SMOKE_LABELS, run_scale_suite
+
+    label = SMOKE_LABELS[0]
+    with open(args.baseline) as handle:
+        points = json.load(handle).get("scale", {}).get("points", [])
+    baseline = next((p for p in points if p["label"] == label), None)
+    if baseline is None:
+        print(f"perf-guard: FAIL: no '{label}' point in {args.baseline} "
+              f"(run `python -m repro.bench --suite scale --smoke` and "
+              f"commit the report)", file=sys.stderr)
+        return 1
+
+    print(f"perf-guard: scale-smoke '{label}' best-of-{args.repeat} "
+          f"vs {args.baseline} ({baseline['events_per_s']:,.0f} events/s)")
+    best = None
+    for _ in range(max(1, args.repeat)):
+        result = run_scale_suite([label], verbose=False)[0]
+        if best is None or result["events_per_s"] > best["events_per_s"]:
+            best = result
+
+    failures = []
+    if best["digest"] != baseline["digest"]:
+        failures.append(
+            f"digest mismatch: {best['digest']} != baseline "
+            f"{baseline['digest']} -- the scale-path behaviour changed"
+        )
+    floor = (1.0 - args.tolerance) * baseline["events_per_s"]
+    if best["events_per_s"] < floor:
+        failures.append(
+            f"host throughput {best['events_per_s']:,.0f} events/s below "
+            f"floor {floor:,.0f} ({args.tolerance:.0%} under baseline "
+            f"{baseline['events_per_s']:,.0f})"
+        )
+    if failures:
+        for failure in failures:
+            print(f"perf-guard: FAIL: {failure}", file=sys.stderr)
+        return 1
+    print(f"perf-guard: OK: {best['events_per_s']:,.0f} events/s "
+          f"(floor {floor:,.0f}), digest matches")
+    return 0
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--baseline", default="BENCH_perf.json",
@@ -42,7 +94,14 @@ def main(argv=None):
                         help="runs to take the best of (default: 3)")
     parser.add_argument("--tolerance", type=float, default=0.10,
                         help="allowed fractional slowdown (default: 0.10)")
+    parser.add_argument("--scale-smoke", action="store_true",
+                        help="gate the smallest scale-suite config instead "
+                             "of tpcc_e2e (digest + events/s window against "
+                             "the report's 'scale' section)")
     args = parser.parse_args(argv)
+
+    if args.scale_smoke:
+        return run_scale_smoke(args)
 
     with open(args.baseline) as handle:
         baseline = json.load(handle)[
