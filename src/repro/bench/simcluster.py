@@ -29,6 +29,7 @@ from repro.bench.metrics import TxnMetrics
 from repro.core.buffers import make_strategy
 from repro.core.commit_manager import CommitManager
 from repro.core.processing_node import ProcessingNode
+from repro.core.transaction import Transaction
 from repro.dispatch import (
     KIND_BATCH,
     KIND_CM_ABORTED,
@@ -733,7 +734,7 @@ class SimulatedTell:
     ) -> Generator:
         config = self.config
         try:
-            txn = yield from pn.begin()
+            txn: Transaction = yield from pn.begin()
         except TellError:
             return "conflict"
         if txn.span is not None:

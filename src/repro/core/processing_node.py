@@ -44,7 +44,9 @@ class ProcessingNode:
         rid_range_size: int = 1024,
     ):
         self.pn_id = pn_id
-        self.buffers = buffers if buffers is not None else TransactionBuffer()
+        self.buffers: BufferingStrategy = (
+            buffers if buffers is not None else TransactionBuffer()
+        )
         self.txlog = TransactionLog()
         self._clock = clock
         self._logical_time = 0.0

@@ -19,7 +19,7 @@ All store-touching methods are generator coroutines.
 from __future__ import annotations
 
 import enum
-from typing import Any, Dict, Generator, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Dict, Generator, List, Optional, Tuple
 
 from repro import effects
 from repro.core.record import TOMBSTONE, VersionedRecord
@@ -37,6 +37,9 @@ from repro.errors import (
     TransactionAborted,
 )
 
+if TYPE_CHECKING:  # import cycle: processing_node constructs Transaction
+    from repro.core.processing_node import ProcessingNode
+
 
 class TxnState(enum.Enum):
     RUNNING = "running"
@@ -48,7 +51,7 @@ class TxnState(enum.Enum):
 class Transaction:
     """One transaction executing on a processing node."""
 
-    def __init__(self, pn: "ProcessingNode", start: TxnStart):  # noqa: F821
+    def __init__(self, pn: "ProcessingNode", start: TxnStart):
         self.pn = pn
         self.tid = start.tid
         self.snapshot = start.snapshot

@@ -30,7 +30,7 @@ class Baseline:
     """In-memory view of a baseline file."""
 
     def __init__(self, counts: Dict[Tuple[str, str, str], int],
-                 path: str = ""):
+                 path: str = "") -> None:
         self.counts = counts
         self.path = path
 

@@ -1,0 +1,203 @@
+"""On-disk pass-1/pass-2 summary cache behind ``repro-lint --changed``.
+
+Both passes produce pure-data summaries (:class:`ModuleSummary`,
+:class:`ModuleFlow`), so an incremental run can reload the unchanged
+part of the project from JSON instead of re-parsing it: only the files
+``git diff`` reports (plus, under ``--flow``, their reverse import
+dependents -- a change to a callee can introduce findings in its
+callers) are parsed and linted live; everything else joins the project
+index as cached data.
+
+Entries are keyed by path and validated by mtime+size, so a rebuilt
+checkout with identical content reuses the cache and an edited file
+misses it.  The cache file itself is an implementation detail
+(``.repro-lint-cache.json``, gitignored); deleting it only costs one
+full re-parse.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import os
+import subprocess
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.lint.flow.summary import ModuleFlow, extract_module_flow
+from repro.lint.index import ModuleSummary
+
+DEFAULT_CACHE = ".repro-lint-cache.json"
+_CACHE_VERSION = 2
+
+
+class SummaryCache:
+    """Path-keyed store of serialized (summary, flow) pairs."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self.entries: Dict[str, Dict[str, object]] = {}
+        self.dirty = False
+        self._load()
+
+    def _load(self) -> None:
+        try:
+            with open(self.path, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+        except (OSError, ValueError):
+            return
+        if data.get("version") != _CACHE_VERSION:
+            return
+        entries = data.get("files")
+        if isinstance(entries, dict):
+            self.entries = entries
+
+    def save(self) -> None:
+        if not self.dirty:
+            return
+        payload = {"version": _CACHE_VERSION, "files": self.entries}
+        tmp = self.path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, separators=(",", ":"))
+        os.replace(tmp, self.path)
+        self.dirty = False
+
+    @staticmethod
+    def _stat_key(filename: str) -> Optional[Tuple[float, int]]:
+        try:
+            stat = os.stat(filename)
+        except OSError:
+            return None
+        return (stat.st_mtime, stat.st_size)
+
+    def lookup(self, filename: str) -> Optional[
+            Tuple[ModuleSummary, Optional[ModuleFlow]]]:
+        """Cached summaries for ``filename`` if it is unchanged on disk."""
+        key = os.path.abspath(filename)
+        entry = self.entries.get(key)
+        if entry is None:
+            return None
+        stat = self._stat_key(filename)
+        if stat is None or [stat[0], stat[1]] != entry.get("stat"):
+            return None
+        try:
+            summary = ModuleSummary.from_dict(entry["summary"])  # type: ignore[arg-type]
+            flow_data = entry.get("flow")
+            flow = ModuleFlow.from_dict(flow_data) \
+                if isinstance(flow_data, dict) else None
+            return summary, flow
+        except (KeyError, TypeError):
+            return None
+
+    def store(self, filename: str, summary: ModuleSummary,
+              flow: Optional[ModuleFlow]) -> None:
+        key = os.path.abspath(filename)
+        stat = self._stat_key(filename)
+        if stat is None:
+            return
+        entry: Dict[str, object] = {
+            "stat": [stat[0], stat[1]],
+            "module": summary.module,
+            "summary": summary.to_dict(),
+        }
+        if flow is not None:
+            entry["flow"] = flow.to_dict()
+        self.entries[key] = entry
+        self.dirty = True
+
+
+def git_changed_files(root: str = ".") -> Optional[Set[str]]:
+    """Absolute paths of files ``git`` considers changed: modified or
+    added vs HEAD, plus untracked.  None when git is unavailable."""
+    changed: Set[str] = set()
+    for argv in (
+        ["git", "diff", "--name-only", "HEAD"],
+        ["git", "ls-files", "--others", "--exclude-standard"],
+    ):
+        try:
+            proc = subprocess.run(
+                argv, cwd=root, capture_output=True, text=True, check=False)
+        except OSError:
+            return None
+        if proc.returncode != 0:
+            return None
+        top = subprocess.run(
+            ["git", "rev-parse", "--show-toplevel"], cwd=root,
+            capture_output=True, text=True, check=False)
+        base = top.stdout.strip() if top.returncode == 0 else root
+        for line in proc.stdout.splitlines():
+            line = line.strip()
+            if line:
+                changed.add(os.path.abspath(os.path.join(base, line)))
+    return changed
+
+
+def load_project(filenames: Sequence[str], cache: Optional[SummaryCache],
+                 module_name_for: Callable[[str], str],
+                 need_flow: bool) -> Dict[
+                     str, Tuple[str, ModuleSummary, Optional[ModuleFlow]]]:
+    """Summaries for every file, from cache when valid, parsed (and
+    cached) otherwise.  Returns ``{abspath: (module, summary, flow)}``;
+    unparseable files are skipped (the live lint reports their syntax
+    errors if they are in the changed set)."""
+    project: Dict[str, Tuple[str, ModuleSummary, Optional[ModuleFlow]]] = {}
+    for filename in filenames:
+        key = os.path.abspath(filename)
+        if cache is not None:
+            hit = cache.lookup(filename)
+            if hit is not None and (hit[1] is not None or not need_flow):
+                project[key] = (hit[0].module, hit[0], hit[1])
+                continue
+        try:
+            with open(filename, "r", encoding="utf-8") as handle:
+                tree = ast.parse(handle.read())
+        except (OSError, SyntaxError):
+            continue
+        module = module_name_for(filename)
+        summary = ModuleSummary(module, tree)
+        flow = extract_module_flow(summary, tree) if need_flow else None
+        if cache is not None:
+            cache.store(filename, summary, flow)
+        project[key] = (module, summary, flow)
+    return project
+
+
+def module_dependencies(summary: ModuleSummary) -> Set[str]:
+    """Module names this summary's import table references."""
+    deps: Set[str] = set(summary.module_aliases.values())
+    for symbol in summary.from_imports.values():
+        deps.add(symbol[0])
+        deps.add(f"{symbol[0]}.{symbol[1]}")
+    return deps
+
+
+def reverse_dependents(
+        targets: Set[str],
+        summaries: Dict[str, ModuleSummary]) -> Set[str]:
+    """Transitive closure of modules importing any target module."""
+    importers: Dict[str, Set[str]] = {}
+    for module, summary in summaries.items():
+        for dep in module_dependencies(summary):
+            importers.setdefault(dep, set()).add(module)
+    found = set(targets)
+    queue = list(targets)
+    while queue:
+        current = queue.pop(0)
+        for module in importers.get(current, ()):
+            if module not in found:
+                found.add(module)
+                queue.append(module)
+    return found
+
+
+def resolve_changed(paths: Sequence[str],
+                    iter_python_files: Callable[[Sequence[str]], List[str]],
+                    root: str = ".") -> Optional[List[str]]:
+    """The subset of linted files git reports as changed, or None when
+    git state is unavailable (caller falls back to a full run)."""
+    changed = git_changed_files(root)
+    if changed is None:
+        return None
+    return [
+        filename for filename in iter_python_files(paths)
+        if os.path.abspath(filename) in changed
+    ]

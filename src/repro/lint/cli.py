@@ -3,10 +3,13 @@
 Usage::
 
     repro-lint [PATHS...]              lint (default: src)
+    repro-lint --flow src              + interprocedural RF rules
+    repro-lint --changed src           lint only files changed per git
     repro-lint --json src              machine-readable findings
-    repro-lint --explain RL003         print one rule's documentation
+    repro-lint --explain RF001         print one rule's documentation
     repro-lint --list-rules            one line per rule
     repro-lint --write-baseline src    grandfather current findings
+    repro-lint --flow --dump-callgraph src   call graph as JSON
 
 Exit codes: 0 clean, 1 findings, 2 usage or internal error.
 """
@@ -15,15 +18,33 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import textwrap
 from typing import List, Optional
 
 from repro.lint.baseline import Baseline
-from repro.lint.engine import lint_sources, load_sources, run_rules
+from repro.lint.cache import (
+    DEFAULT_CACHE,
+    SummaryCache,
+    load_project,
+    resolve_changed,
+    reverse_dependents,
+)
+from repro.lint.engine import (
+    iter_python_files,
+    lint_sources,
+    load_sources,
+    module_name_for,
+    run_rules,
+)
+from repro.lint.flow.analysis import FlowAnalysis
+from repro.lint.flow.rules import FLOW_RULES_BY_CODE
 from repro.lint.rules import ALL_RULES, RULES_BY_CODE
 
 DEFAULT_BASELINE = ".repro-lint-baseline.json"
+
+_ALL_RULES_BY_CODE = {**RULES_BY_CODE, **FLOW_RULES_BY_CODE}
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -35,6 +56,20 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("paths", nargs="*", default=["src"],
                         help="files or directories to lint (default: src)")
+    parser.add_argument("--flow", action="store_true",
+                        help="run the interprocedural RF rules (project "
+                             "call graph + taint propagation)")
+    parser.add_argument("--changed", action="store_true",
+                        help="lint only files changed per git (plus their "
+                             "reverse dependents under --flow); unchanged "
+                             "files join the analysis from the summary "
+                             "cache")
+    parser.add_argument("--cache", default=None, metavar="FILE",
+                        help=f"summary cache for --changed "
+                             f"(default: {DEFAULT_CACHE})")
+    parser.add_argument("--dump-callgraph", action="store_true",
+                        help="with --flow: print the resolved call graph "
+                             "as JSON and exit")
     parser.add_argument("--json", action="store_true", dest="as_json",
                         help="emit findings as JSON on stdout")
     parser.add_argument("--baseline", default=None, metavar="FILE",
@@ -47,16 +82,16 @@ def _build_parser() -> argparse.ArgumentParser:
                              "and exit 0")
     parser.add_argument("--explain", metavar="RULE", default=None,
                         help="print the documentation for one rule "
-                             "(e.g. --explain RL001) and exit")
+                             "(e.g. --explain RF001) and exit")
     parser.add_argument("--list-rules", action="store_true",
                         help="list all rules and exit")
     return parser
 
 
 def _explain(code: str) -> int:
-    rule = RULES_BY_CODE.get(code.upper())
+    rule = _ALL_RULES_BY_CODE.get(code.upper())
     if rule is None:
-        known = ", ".join(sorted(RULES_BY_CODE))
+        known = ", ".join(sorted(_ALL_RULES_BY_CODE))
         print(f"repro-lint: unknown rule {code!r} (known: {known})",
               file=sys.stderr)
         return 2
@@ -69,7 +104,72 @@ def _explain(code: str) -> int:
 def _list_rules() -> int:
     for rule in ALL_RULES:
         print(f"{rule.code}  {rule.title}")
+    for rule in FLOW_RULES_BY_CODE.values():
+        print(f"{rule.code}  {rule.title}  [--flow]")
     return 0
+
+
+def _dump_callgraph(paths: List[str]) -> int:
+    from repro.lint.flow.summary import extract_module_flow
+    from repro.lint.index import ModuleSummary, ProjectIndex
+
+    sources = load_sources(paths)
+    summaries = {
+        s.module: ModuleSummary(s.module, s.tree)
+        for s in sources if s.tree is not None and not s.skip_file
+    }
+    flows = {
+        s.module: extract_module_flow(summaries[s.module], s.tree)
+        for s in sources if s.tree is not None and not s.skip_file
+    }
+    analysis = FlowAnalysis(ProjectIndex(summaries), flows)
+    print(json.dumps(analysis.graph.to_dict(), indent=2, sort_keys=True))
+    return 0
+
+
+def _changed_run(args: argparse.Namespace,
+                 baseline: Optional[Baseline]) -> "object":
+    """Incremental lint: parse changed files live, load the rest of the
+    project from the summary cache, and report findings only for the
+    changed set (plus reverse dependents under --flow)."""
+    changed = resolve_changed(args.paths, iter_python_files)
+    if changed is None:
+        print("repro-lint: --changed requires a git checkout; "
+              "running a full lint", file=sys.stderr)
+        sources = load_sources(args.paths)
+        return lint_sources(sources, baseline=baseline, flow=args.flow)
+
+    cache = SummaryCache(args.cache or DEFAULT_CACHE)
+    every = iter_python_files(args.paths)
+    project = load_project(every, cache, module_name_for,
+                           need_flow=args.flow)
+    cache.save()
+
+    changed_keys = {os.path.abspath(p) for p in changed}
+    lint_modules = {
+        entry[0] for key, entry in project.items() if key in changed_keys
+    }
+    if args.flow and lint_modules:
+        summaries = {entry[0]: entry[1] for entry in project.values()}
+        lint_modules = reverse_dependents(lint_modules, summaries)
+
+    lint_files = [
+        key for key, entry in project.items()
+        if key in changed_keys or entry[0] in lint_modules
+    ]
+    # Changed files that failed to parse still need their RL000 finding.
+    lint_files.extend(
+        key for key in changed_keys
+        if key not in project and os.path.exists(key)
+    )
+    sources = load_sources(sorted(lint_files))
+    live = {s.module for s in sources}
+    context = {
+        entry[0]: (entry[1], entry[2])
+        for entry in project.values() if entry[0] not in live
+    }
+    return lint_sources(sources, baseline=baseline, flow=args.flow,
+                        project=context)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -80,18 +180,28 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _explain(args.explain)
     if args.list_rules:
         return _list_rules()
-
-    try:
-        sources = load_sources(args.paths)
-    except FileNotFoundError as exc:
-        print(f"repro-lint: no such file or directory: {exc}",
-              file=sys.stderr)
-        return 2
+    if args.dump_callgraph:
+        if not args.flow:
+            print("repro-lint: --dump-callgraph requires --flow",
+                  file=sys.stderr)
+            return 2
+        try:
+            return _dump_callgraph(args.paths)
+        except FileNotFoundError as exc:
+            print(f"repro-lint: no such file or directory: {exc}",
+                  file=sys.stderr)
+            return 2
 
     baseline_path = args.baseline or DEFAULT_BASELINE
 
     if args.write_baseline:
-        findings = run_rules(sources)
+        try:
+            sources = load_sources(args.paths)
+        except FileNotFoundError as exc:
+            print(f"repro-lint: no such file or directory: {exc}",
+                  file=sys.stderr)
+            return 2
+        findings = run_rules(sources, flow=args.flow)
         by_path = {source.path: source for source in sources}
         kept = [f for f in findings
                 if not (by_path.get(f.path) or _NEVER).is_suppressed(f)]
@@ -108,7 +218,16 @@ def main(argv: Optional[List[str]] = None) -> int:
                   file=sys.stderr)
             return 2
 
-    result = lint_sources(sources, baseline=baseline)
+    try:
+        if args.changed:
+            result = _changed_run(args, baseline)
+        else:
+            sources = load_sources(args.paths)
+            result = lint_sources(sources, baseline=baseline, flow=args.flow)
+    except FileNotFoundError as exc:
+        print(f"repro-lint: no such file or directory: {exc}",
+              file=sys.stderr)
+        return 2
 
     if args.as_json:
         payload = {

@@ -28,8 +28,15 @@ import tokenize
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.lint.baseline import Baseline
+from repro.lint.flow.analysis import FlowAnalysis
+from repro.lint.flow.rules import FLOW_RULES
+from repro.lint.flow.summary import ModuleFlow, extract_module_flow
 from repro.lint.index import ModuleSummary, ProjectIndex
 from repro.lint.rules import ALL_RULES, Rule
+
+#: Cached project view passed by ``repro-lint --changed``: modules that
+#: are part of the analysis but whose findings are not re-reported.
+ProjectContext = Dict[str, Tuple[ModuleSummary, Optional[ModuleFlow]]]
 
 _IGNORE_RE = re.compile(r"#\s*repro-lint:\s*ignore\[([A-Z0-9,\s]+)\]")
 _SKIP_FILE_RE = re.compile(r"#\s*repro-lint:\s*skip-file")
@@ -41,7 +48,7 @@ class Finding:
     __slots__ = ("rule", "path", "line", "col", "message", "line_text")
 
     def __init__(self, rule: str, path: str, line: int, col: int,
-                 message: str, line_text: str):
+                 message: str, line_text: str) -> None:
         self.rule = rule
         self.path = path
         self.line = line
@@ -71,7 +78,7 @@ class Finding:
 class SourceModule:
     """A parsed source file plus its suppression table."""
 
-    def __init__(self, path: str, module: str, text: str):
+    def __init__(self, path: str, module: str, text: str) -> None:
         self.path = path
         self.module = module
         self.text = text
@@ -126,7 +133,7 @@ class LintResult:
     """Outcome of one lint run."""
 
     def __init__(self, findings: List[Finding], baselined: int,
-                 suppressed: int, files_checked: int):
+                 suppressed: int, files_checked: int) -> None:
         self.findings = findings
         self.baselined = baselined
         self.suppressed = suppressed
@@ -198,14 +205,35 @@ def load_sources(paths: Sequence[str],
 
 
 def run_rules(sources: Sequence[SourceModule],
-              rules: Optional[Sequence[Rule]] = None) -> List[Finding]:
-    """Raw findings (suppressions applied, no baseline)."""
-    active_rules = list(rules) if rules is not None else ALL_RULES
+              rules: Optional[Sequence[Rule]] = None,
+              flow: bool = False,
+              project: Optional[ProjectContext] = None) -> List[Finding]:
+    """Raw findings (suppressions applied, no baseline).
+
+    ``flow`` enables the interprocedural RF rules; ``project`` supplies
+    pre-built summaries of modules that should join the index (and the
+    call graph) without being linted themselves -- the unchanged half of
+    a ``--changed`` run, loaded from the cache.
+    """
+    active_rules = list(rules) if rules is not None else (
+        ALL_RULES + FLOW_RULES if flow else ALL_RULES)
     summaries: Dict[str, ModuleSummary] = {}
+    flows: Dict[str, ModuleFlow] = {}
+    if project:
+        for module, (summary, module_flow) in project.items():
+            summaries[module] = summary
+            if module_flow is not None:
+                flows[module] = module_flow
     for source in sources:
         if source.tree is not None and not source.skip_file:
             summaries[source.module] = ModuleSummary(source.module, source.tree)
     index = ProjectIndex(summaries)
+    if flow:
+        for source in sources:
+            if source.tree is not None and not source.skip_file:
+                flows[source.module] = extract_module_flow(
+                    summaries[source.module], source.tree)
+        index.flow = FlowAnalysis(index, flows)
 
     findings: List[Finding] = []
     for source in sources:
@@ -233,8 +261,10 @@ def run_rules(sources: Sequence[SourceModule],
 
 def lint_sources(sources: Sequence[SourceModule],
                  rules: Optional[Sequence[Rule]] = None,
-                 baseline: Optional["Baseline"] = None) -> LintResult:
-    raw = run_rules(sources, rules)
+                 baseline: Optional["Baseline"] = None,
+                 flow: bool = False,
+                 project: Optional[ProjectContext] = None) -> LintResult:
+    raw = run_rules(sources, rules, flow=flow, project=project)
     by_path = {source.path: source for source in sources}
     kept: List[Finding] = []
     suppressed = 0
@@ -255,14 +285,18 @@ def lint_sources(sources: Sequence[SourceModule],
 def lint_paths(paths: Sequence[str],
                rules: Optional[Sequence[Rule]] = None,
                baseline: Optional["Baseline"] = None,
-               relative_to: Optional[str] = None) -> LintResult:
-    return lint_sources(load_sources(paths, relative_to), rules, baseline)
+               relative_to: Optional[str] = None,
+               flow: bool = False,
+               project: Optional[ProjectContext] = None) -> LintResult:
+    return lint_sources(load_sources(paths, relative_to), rules, baseline,
+                        flow=flow, project=project)
 
 
 def lint_source(text: str, module: str = "repro.example",
                 path: str = "<memory>",
                 rules: Optional[Sequence[Rule]] = None,
-                extra_sources: Iterable[SourceModule] = ()) -> List[Finding]:
+                extra_sources: Iterable[SourceModule] = (),
+                flow: bool = False) -> List[Finding]:
     """Lint one in-memory snippet (test/fixture entry point).
 
     ``module`` controls package-scoped rules (RL003 fires only under the
@@ -270,4 +304,4 @@ def lint_source(text: str, module: str = "repro.example",
     into the same project index (cross-module resolution tests).
     """
     sources = [SourceModule(path, module, text)] + list(extra_sources)
-    return lint_sources(sources, rules=rules).findings
+    return lint_sources(sources, rules=rules, flow=flow).findings

@@ -1,0 +1,203 @@
+"""Fixpoint taint propagation over the linked call graph.
+
+Four classifications drive the RF rules:
+
+* **sim-time-reachable** -- forward closure from the simulation entry
+  points: every function in the simulated-time packages plus every
+  generator resolved as a ``spawn(...)``/``run_direct(...)`` argument.
+  RF001 reports wall-clock / unseeded-RNG facts inside this set.
+* **hot-path-reachable** -- forward closure from the entry points
+  ``tools/perf_guard.py`` drives (the TPC-C deployment and the scale
+  suite).  RF005 reports per-call allocation facts inside this set.
+* **protocol-mutation tainted** -- reverse closure from every function
+  with a recorded protocol-mutation fact; **obs tainted** -- reverse
+  closure from the repro.obs modules.  RF004 reports sanitizer observer
+  edges into either set.
+* **routable** -- effect classes a dispatcher can classify, read out of
+  the dispatch package itself: exact classes registered in class-keyed
+  kind tables plus the subclass closure of the ``isinstance`` ladder
+  bases.  RF002/RF003 report yields and class definitions outside it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.lint.flow.callgraph import CallGraph, Node
+from repro.lint.flow.summary import ModuleFlow, PROTOCOL_MUTATORS
+from repro.lint.index import ProjectIndex, Symbol, in_prefixes
+from repro.lint.rules import SIMULATED_TIME_PACKAGES
+
+#: Where dispatcher registrations (kind tables, classify ladders) live.
+DISPATCH_PACKAGES: Tuple[str, ...] = ("repro.dispatch",)
+
+#: Entry points guarded by tools/perf_guard.py: the end-to-end TPC-C
+#: deployment and the scale suite both run through these.
+HOT_PATH_ROOTS: Tuple[Node, ...] = (
+    ("repro.bench.simcluster", "SimulatedTell.run"),
+    ("repro.bench.simcluster", "SimulatedTell.load"),
+    ("repro.bench.scale", "run_scale_point"),
+)
+
+#: repro.san driver modules (own their deployments; exempt from the
+#: observer isolation contract).  Mirrors RL009.
+SAN_DRIVER_MODULES: Tuple[str, ...] = (
+    "repro.san.scenarios",
+    "repro.san.explorer",
+    "repro.san.__main__",
+)
+
+SAN_PACKAGE = "repro.san"
+OBS_PACKAGE = "repro.obs"
+
+
+def format_node(node: Node) -> str:
+    return f"{node[0]}.{node[1]}"
+
+
+class FlowAnalysis:
+    """Project-wide flow facts, computed once per ``--flow`` run."""
+
+    def __init__(self, index: ProjectIndex, flows: Dict[str, ModuleFlow]) -> None:
+        self.index = index
+        self.flows = flows
+        self.graph = CallGraph(index, flows)
+        self.sim_parents = self._compute_sim_reach()
+        self.hot_parents = self.graph.reachable_from(set(HOT_PATH_ROOTS))
+        self.routable_exact, self.ladder_bases = \
+            self._collect_registrations()
+        self.mutation_tainted = self.graph.reverse_reachable(
+            self._mutation_sources())
+        self.obs_tainted = self.graph.reverse_reachable(
+            self._obs_sources())
+        self._routable_cache: Dict[Symbol, bool] = {}
+
+    # -- reachability ------------------------------------------------------
+
+    def _compute_sim_reach(self) -> Dict[Node, Optional[Node]]:
+        roots: Set[Node] = set(self.graph.spawned)
+        for node in self.graph.nodes:
+            if in_prefixes(node[0], SIMULATED_TIME_PACKAGES):
+                roots.add(node)
+        return self.graph.reachable_from(roots)
+
+    def chain_text(self, parents: Dict[Node, Optional[Node]],
+                   node: Node) -> str:
+        path = self.graph.chain(parents, node)
+        return " -> ".join(format_node(step) for step in path)
+
+    # -- dispatcher registrations (RF002/RF003) ----------------------------
+
+    def _collect_registrations(self) -> Tuple[Set[Symbol], Set[Symbol]]:
+        exact: Set[Symbol] = set()
+        bases: Set[Symbol] = set()
+        for module, flow in self.flows.items():
+            if not in_prefixes(module, DISPATCH_PACKAGES):
+                continue
+            summary = self.index.summaries.get(module)
+            if summary is None:
+                continue
+            for table in flow.tables.values():
+                for key in table.get("keys", []):
+                    symbol = summary.resolve_ref(
+                        tuple(key)) if key else None
+                    if symbol in self.index.effect_classes:
+                        exact.add(symbol)
+            for info in flow.functions.values():
+                for ref in info.get("isinstance", []):
+                    symbol = summary.resolve_ref(tuple(ref))
+                    if symbol in self.index.effect_classes:
+                        bases.add(symbol)
+        return exact, bases
+
+    @property
+    def has_dispatch_info(self) -> bool:
+        """False when no dispatcher was linted (single-file fixtures):
+        RF002/RF003 stay silent rather than calling everything
+        unroutable."""
+        return bool(self.routable_exact or self.ladder_bases)
+
+    def is_routable(self, symbol: Symbol) -> bool:
+        """Can :func:`repro.dispatch.core.kind_of` classify this class?"""
+        cached = self._routable_cache.get(symbol)
+        if cached is not None:
+            return cached
+        result = symbol in self.routable_exact or any(
+            self.graph.is_subclass(symbol, base)
+            for base in self.ladder_bases
+        )
+        self._routable_cache[symbol] = result
+        return result
+
+    def effect_leaves(self) -> Set[Symbol]:
+        """Concrete effect classes: members of the Request closure that
+        no linted class subclasses (abstract bases are wired through
+        their subclasses, not directly)."""
+        subclassed: Set[Symbol] = set()
+        for bases in self.graph.bases_of.values():
+            subclassed.update(bases)
+        return {
+            symbol for symbol in self.index.effect_classes
+            if symbol not in subclassed
+        }
+
+    # -- sanitizer isolation (RF004) ---------------------------------------
+
+    @staticmethod
+    def is_san_observer_module(module: str) -> bool:
+        return (in_prefixes(module, (SAN_PACKAGE,))
+                and module not in SAN_DRIVER_MODULES)
+
+    def _mutation_sources(self) -> Set[Node]:
+        sources: Set[Node] = set()
+        for module, flow in self.flows.items():
+            protocol_module = in_prefixes(module, SIMULATED_TIME_PACKAGES)
+            for qualname, info in flow.functions.items():
+                if info.get("facts", {}).get("mutates"):
+                    sources.add((module, qualname))
+                    continue
+                # Protocol mutator methods are sources themselves:
+                # `CommitManager.start` mutates through `self`, which the
+                # call-site fact heuristic cannot see.
+                if (protocol_module and "." in qualname
+                        and info.get("cls") is not None
+                        and qualname.rsplit(".", 1)[1] in PROTOCOL_MUTATORS):
+                    sources.add((module, qualname))
+        return sources
+
+    def _obs_sources(self) -> Set[Node]:
+        sources: Set[Node] = set()
+        for node in self.graph.nodes:
+            if in_prefixes(node[0], (OBS_PACKAGE,)):
+                sources.add(node)
+        for module, flow in self.flows.items():
+            for qualname, info in flow.functions.items():
+                if info.get("facts", {}).get("obs"):
+                    sources.add((module, qualname))
+        for node, externals in self.graph.external.items():
+            for symbol, _line in externals:
+                if in_prefixes(symbol[0], (OBS_PACKAGE,)):
+                    sources.add(node)
+        return sources
+
+    def taint_witness(self, start: Node, tainted: Set[Node],
+                      fact_kind: str) -> List[Node]:
+        """Forward path from ``start`` to the nearest function carrying
+        the taint's defining fact (the call chain shown in RF004)."""
+        parents: Dict[Node, Optional[Node]] = {start: None}
+        queue = [start]
+        while queue:
+            current = queue.pop(0)
+            info = self.graph.function_info(current)
+            facts = (info or {}).get("facts", {})
+            is_sink = bool(facts.get(fact_kind)) or (
+                fact_kind == "obs"
+                and in_prefixes(current[0], (OBS_PACKAGE,))
+            )
+            if is_sink:
+                return self.graph.chain(parents, current)
+            for target in sorted(self.graph.edges.get(current, ())):
+                if target in tainted and target not in parents:
+                    parents[target] = current
+                    queue.append(target)
+        return [start]

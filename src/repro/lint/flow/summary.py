@@ -1,0 +1,591 @@
+"""Pass-2 extraction: one serializable flow summary per module.
+
+The pass-1 :class:`~repro.lint.index.ModuleSummary` answers "what does
+this name import to"; this pass records what every *function* does --
+which callables it invokes (and through which receiver chains), what it
+yields, what it spawns into a simulator, and which determinism /
+allocation / isolation facts its body exhibits.  Everything is plain
+JSON-serializable data so ``repro-lint --changed`` can reload summaries
+of unchanged files from the on-disk cache without re-parsing them.
+
+Resolution is deliberately deferred: a call is recorded as a *shape*
+(bare name, receiver chain rooted at ``self``/a local/a parameter, a
+dispatch-table subscript) and only turned into a call-graph edge by
+:mod:`repro.lint.flow.callgraph`, which has the whole project in view.
+Receivers resolve through explicit evidence only -- a parameter or local
+annotation, a local ``ClassName(...)`` construction, or an attribute
+assigned from one of those in a method body.  An unresolvable receiver
+produces no edge, never a guessed one.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.lint.index import (
+    ModuleSummary,
+    NameRef,
+    function_is_generator,
+    name_ref_of,
+)
+from repro.lint.rules import WALL_CLOCK_ATTRS
+
+#: Kernel Delay symbols (RF005 per-call allocation facts).
+_DELAY_SYMBOLS = frozenset({
+    ("repro.sim.kernel", "Delay"),
+    ("repro.sim", "Delay"),
+})
+
+#: Callables that *drive* a freshly created generator: their call-shaped
+#: arguments become simulation entry points for RF001.
+_SPAWN_ATTRS = frozenset({"spawn"})
+_SPAWN_NAMES = frozenset({"run_direct"})
+
+#: Receiver names that bind protocol objects (RF004 mutation facts);
+#: mirrors RL009's heuristic so the transitive rule agrees with the
+#: module-local one.
+_PROTOCOL_RECEIVERS = frozenset({
+    "record", "version", "cell", "snapshot", "descriptor",
+    "txn", "transaction",
+    "cluster", "storage_cluster", "storage_node", "store",
+    "manager", "commit_manager", "processing_node",
+    "btree", "tree",
+})
+
+PROTOCOL_MUTATORS = frozenset({
+    "start", "set_committed", "set_aborted", "execute", "execute_scan",
+    "apply", "insert", "delete", "update", "put", "commit", "abort",
+    "append", "set_status", "recover", "invalidate", "note_applied",
+})
+_PROTOCOL_MUTATORS = PROTOCOL_MUTATORS
+
+#: Receiver names that bind repro.obs instrumentation (RF004).
+_OBS_RECEIVERS = frozenset({"obs", "tracer", "registry"})
+
+
+def _ann_info(node: Optional[ast.expr]) -> Dict[str, Any]:
+    """Parse an annotation into ``{"ref": NameRef?, "elem": NameRef?}``.
+
+    ``ref`` is the annotated type itself, ``elem`` the element type of a
+    recognized container (``List[X]``, ``Sequence[X]``, ``Dict[K, V]``
+    values, ...).  ``Optional[X]`` unwraps to ``X``.
+    """
+    info: Dict[str, Any] = {}
+    if node is None:
+        return info
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        text = node.value.strip().strip("'\"")
+        if text.isidentifier():
+            info["ref"] = ["name", text]
+        return info
+    ref = name_ref_of(node)
+    if ref is not None:
+        info["ref"] = list(ref)
+        return info
+    if isinstance(node, ast.Subscript):
+        base = node.value
+        base_name = base.id if isinstance(base, ast.Name) else (
+            base.attr if isinstance(base, ast.Attribute) else None
+        )
+        inner: ast.expr = node.slice
+        if isinstance(inner, ast.Index):  # pragma: no cover -- py3.8 AST
+            inner = inner.value  # type: ignore[attr-defined]
+        if base_name == "Optional":
+            return _ann_info(inner)
+        if base_name in ("List", "Sequence", "Iterable", "Iterator",
+                         "Set", "FrozenSet", "Tuple", "list", "set",
+                         "tuple", "Deque", "deque"):
+            first = inner.elts[0] if isinstance(inner, ast.Tuple) and \
+                inner.elts else inner
+            elem = _ann_info(first).get("ref")
+            if elem is not None:
+                info["elem"] = elem
+        elif base_name in ("Dict", "Mapping", "MutableMapping", "dict"):
+            if isinstance(inner, ast.Tuple) and len(inner.elts) == 2:
+                elem = _ann_info(inner.elts[1]).get("ref")
+                if elem is not None:
+                    info["elem"] = elem
+    return info
+
+
+def _receiver_steps(node: ast.expr) -> Optional[Tuple[str, List[str]]]:
+    """Flatten a receiver expression into ``(root_name, steps)``.
+
+    ``self.commit_managers[i]`` becomes ``("self", ["commit_managers",
+    "[]"])``; a step of ``"[]"`` means "element of the previous step".
+    Returns None for receivers rooted anywhere but a bare name.
+    """
+    steps: List[str] = []
+    while True:
+        if isinstance(node, ast.Attribute):
+            steps.insert(0, node.attr)
+            node = node.value
+        elif isinstance(node, ast.Subscript):
+            steps.insert(0, "[]")
+            node = node.value
+        elif isinstance(node, ast.Name):
+            return node.id, steps
+        else:
+            return None
+
+
+def _value_desc(node: ast.expr) -> Optional[Dict[str, Any]]:
+    """Describe the value of an assignment RHS, if evidence exists."""
+    if isinstance(node, ast.Call):
+        ref = name_ref_of(node.func)
+        if ref is not None:
+            return {"k": "call", "ref": list(ref)}
+        return None
+    if isinstance(node, ast.Name):
+        return {"k": "alias", "name": node.id}
+    if isinstance(node, (ast.Attribute, ast.Subscript)):
+        flattened = _receiver_steps(node)
+        if flattened is not None:
+            root, steps = flattened
+            return {"k": "chain", "root": root, "steps": steps}
+        return None
+    if isinstance(node, (ast.ListComp, ast.GeneratorExp)):
+        if isinstance(node.elt, ast.Call):
+            ref = name_ref_of(node.elt.func)
+            if ref is not None:
+                return {"k": "listof", "ref": list(ref)}
+    if isinstance(node, (ast.List, ast.Tuple)) and node.elts:
+        refs = set()
+        for elt in node.elts:
+            if not isinstance(elt, ast.Call):
+                return None
+            ref = name_ref_of(elt.func)
+            if ref is None:
+                return None
+            refs.add(tuple(ref))
+        if len(refs) == 1:
+            return {"k": "listof", "ref": list(refs.pop())}
+    return None
+
+
+def _all_constant(node: ast.expr) -> bool:
+    if isinstance(node, ast.Constant):
+        return True
+    if isinstance(node, (ast.Tuple, ast.List)):
+        return all(_all_constant(e) for e in node.elts)
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+        return _all_constant(node.operand)
+    return False
+
+
+class _FunctionExtractor(ast.NodeVisitor):
+    """Collect the flow summary of one function body.
+
+    Nested defs are skipped here (they get their own summary; the parent
+    records an implicit edge to them) and lambdas are folded into the
+    enclosing function.
+    """
+
+    def __init__(self, summary: ModuleSummary, node: ast.AST,
+                 qualname: str, class_name: Optional[str]) -> None:
+        self.summary = summary
+        self.qualname = qualname
+        self.info: Dict[str, Any] = {
+            "line": getattr(node, "lineno", 0),
+            "gen": function_is_generator(node),
+            "cls": class_name,
+            "params": {},
+            "bindings": {},
+            "locals": [],
+            "calls": [],
+            "yields": [],
+            "spawns": [],
+            "facts": {},
+        }
+        self._loop_depth = 0
+        self._yf_calls: set = set()
+        args = getattr(node, "args", None)
+        if args is not None:
+            every = list(getattr(args, "posonlyargs", [])) + \
+                list(args.args) + list(args.kwonlyargs)
+            for arg in every:
+                info = _ann_info(arg.annotation)
+                if info:
+                    self.info["params"][arg.arg] = info
+        for child in getattr(node, "body", []):
+            self.visit(child)
+
+    # -- bookkeeping -------------------------------------------------------
+
+    def _fact(self, kind: str, line: int, detail: str = "") -> None:
+        entry: Dict[str, Any] = {"line": line}
+        if detail:
+            entry["what"] = detail
+        self.info["facts"].setdefault(kind, []).append(entry)
+
+    def _bind(self, name: str, desc: Optional[Dict[str, Any]]) -> None:
+        if desc is not None:
+            self.info["bindings"][name] = desc
+
+    # -- defs / loops ------------------------------------------------------
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self.info["locals"].append(node.name)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self.info["locals"].append(node.name)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self.visit(node.body)
+
+    def visit_For(self, node: ast.For) -> None:
+        if isinstance(node.target, ast.Name):
+            src = _value_desc(node.iter)
+            if src is not None:
+                self._bind(node.target.id, {"k": "iter", "src": src})
+        self.visit(node.iter)
+        self._loop_depth += 1
+        for child in node.body:
+            self.visit(child)
+        self._loop_depth -= 1
+        for child in node.orelse:
+            self.visit(child)
+
+    def visit_While(self, node: ast.While) -> None:
+        self.visit(node.test)
+        self._loop_depth += 1
+        for child in node.body:
+            self.visit(child)
+        self._loop_depth -= 1
+        for child in node.orelse:
+            self.visit(child)
+
+    # -- bindings ----------------------------------------------------------
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if len(node.targets) == 1 and isinstance(node.targets[0], ast.Name):
+            self._bind(node.targets[0].id, _value_desc(node.value))
+        self._check_mutation_target(node, node.targets)
+        for target in node.targets:
+            self.visit(target)
+        self.visit(node.value)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if isinstance(node.target, ast.Name):
+            info = _ann_info(node.annotation)
+            if info:
+                self._bind(node.target.id, {"k": "ann", **info})
+            elif node.value is not None:
+                self._bind(node.target.id, _value_desc(node.value))
+        self._check_mutation_target(node, [node.target])
+        if node.value is not None:
+            self.visit(node.value)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._check_mutation_target(node, [node.target])
+        self.visit(node.value)
+
+    def _check_mutation_target(self, node: ast.stmt,
+                               targets: List[ast.expr]) -> None:
+        """RL009-style protocol-mutation fact: attribute assignment whose
+        receiver chain ends in a protocol name and is not self-rooted."""
+        for target in targets:
+            while isinstance(target, ast.Subscript):
+                target = target.value
+            if not isinstance(target, ast.Attribute):
+                continue
+            flattened = _receiver_steps(target.value)
+            if flattened is None:
+                continue
+            root, steps = flattened
+            if root in ("self", "cls"):
+                continue
+            final = steps[-1] if steps and steps[-1] != "[]" else root
+            if final in _PROTOCOL_RECEIVERS:
+                self._fact("mutates", node.lineno,
+                           f"assigns `.{target.attr}` on protocol object "
+                           f"`{final}`")
+
+    # -- yields ------------------------------------------------------------
+
+    def visit_Yield(self, node: ast.Yield) -> None:
+        value = node.value
+        if isinstance(value, ast.Call):
+            ref = name_ref_of(value.func)
+            if ref is not None:
+                self.info["yields"].append(
+                    {"line": node.lineno, "ref": list(ref)}
+                )
+                symbol = self.summary.resolve_ref(ref)
+                if (symbol in _DELAY_SYMBOLS and len(value.args) == 1
+                        and not value.keywords
+                        and isinstance(value.args[0], ast.Constant)
+                        and isinstance(value.args[0].value, (int, float))
+                        and not isinstance(value.args[0].value, bool)):
+                    self._fact("const_delay", node.lineno,
+                               f"Delay({value.args[0].value!r})")
+        if value is not None:
+            self.visit(value)
+
+    def visit_YieldFrom(self, node: ast.YieldFrom) -> None:
+        if isinstance(node.value, ast.Call):
+            self._yf_calls.add(id(node.value))
+        self.visit(node.value)
+
+    # -- calls and facts ---------------------------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        desc = self._call_desc(node)
+        if desc is not None:
+            if id(node) in self._yf_calls:
+                desc["yf"] = True
+            self.info["calls"].append(desc)
+        self._check_spawn(node)
+        self._check_rng(node)
+        self._check_isinstance(node)
+        self.generic_visit(node)
+
+    def _call_desc(self, node: ast.Call) -> Optional[Dict[str, Any]]:
+        func = node.func
+        if isinstance(func, ast.Name):
+            # from-time import calls are wall-clock facts, not edges
+            symbol = self.summary.resolve_name(func.id)
+            if (symbol is not None and symbol[0] == "time"
+                    and symbol[1] in WALL_CLOCK_ATTRS):
+                self._fact("wall_clock", node.lineno, f"time.{symbol[1]}")
+                return None
+            return {"k": "name", "fn": func.id, "line": node.lineno}
+        if isinstance(func, ast.Attribute):
+            flattened = _receiver_steps(func.value)
+            if flattened is None:
+                return None
+            root, steps = flattened
+            final = steps[-1] if steps and steps[-1] != "[]" else root
+            if final in _OBS_RECEIVERS and root not in ("self", "cls"):
+                self._fact("obs", node.lineno,
+                           f"`{final}.{func.attr}(...)`")
+            if (final in _PROTOCOL_RECEIVERS and root not in ("self", "cls")
+                    and func.attr in _PROTOCOL_MUTATORS):
+                self._fact("mutates", node.lineno,
+                           f"calls `{final}.{func.attr}(...)`")
+            return {"k": "attr", "root": root, "steps": steps,
+                    "attr": func.attr, "line": node.lineno}
+        if isinstance(func, ast.Subscript):
+            table = name_ref_of(func.value)
+            if table is not None:
+                return {"k": "table", "table": list(table),
+                        "line": node.lineno}
+        return None
+
+    def _check_spawn(self, node: ast.Call) -> None:
+        func = node.func
+        is_spawn = (
+            (isinstance(func, ast.Attribute) and func.attr in _SPAWN_ATTRS)
+            or (isinstance(func, ast.Name) and func.id in _SPAWN_NAMES)
+        )
+        if not is_spawn:
+            return
+        for arg in node.args:
+            if isinstance(arg, ast.Call):
+                desc = self._call_desc(arg)
+                if desc is not None:
+                    self.info["spawns"].append(desc)
+
+    def _check_rng(self, node: ast.Call) -> None:
+        func = node.func
+        if (isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and self.summary.resolve_qualifier(func.value.id) == "random"):
+            if func.attr not in ("Random", "SystemRandom"):
+                self._fact("rng", node.lineno, f"random.{func.attr}")
+            elif func.attr == "Random" and not node.args:
+                self._fact("rng", node.lineno, "random.Random()")
+        elif isinstance(func, ast.Name):
+            symbol = self.summary.resolve_name(func.id)
+            if symbol == ("random", "Random") and not node.args:
+                self._fact("rng", node.lineno, "Random()")
+
+    def _check_isinstance(self, node: ast.Call) -> None:
+        if not (isinstance(node.func, ast.Name)
+                and node.func.id == "isinstance" and len(node.args) == 2):
+            return
+        second = node.args[1]
+        checks = second.elts if isinstance(second, ast.Tuple) else [second]
+        for check in checks:
+            ref = name_ref_of(check)
+            if ref is not None:
+                self.info.setdefault("isinstance", []).append(list(ref))
+
+    # -- remaining facts ---------------------------------------------------
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if (node.attr in WALL_CLOCK_ATTRS
+                and isinstance(node.value, ast.Name)
+                and self.summary.resolve_qualifier(node.value.id) == "time"):
+            self._fact("wall_clock", node.lineno, f"time.{node.attr}")
+        self.generic_visit(node)
+
+    def visit_List(self, node: ast.List) -> None:
+        self._check_const_literal(node, "list")
+        self.generic_visit(node)
+
+    def visit_Dict(self, node: ast.Dict) -> None:
+        self._check_const_literal(node, "dict")
+        self.generic_visit(node)
+
+    def _check_const_literal(self, node: ast.expr, kind: str) -> None:
+        if self._loop_depth == 0:
+            return
+        if isinstance(node, ast.List):
+            parts: List[Optional[ast.expr]] = list(node.elts)
+        else:
+            parts = list(getattr(node, "keys", [])) + \
+                list(getattr(node, "values", []))
+        if not parts or any(p is None for p in parts):
+            return
+        if all(_all_constant(p) for p in parts if p is not None):
+            self._fact("const_literal", node.lineno,
+                       f"all-constant {kind} literal rebuilt every "
+                       f"iteration")
+
+
+class ModuleFlow:
+    """The flow summary of one module: functions, attribute types of its
+    classes, and module-level dispatch tables.  Pure data."""
+
+    __slots__ = ("module", "functions", "attr_types", "tables")
+
+    def __init__(self, module: str,
+                 functions: Optional[Dict[str, Dict[str, Any]]] = None,
+                 attr_types: Optional[Dict[str, Dict[str, Any]]] = None,
+                 tables: Optional[Dict[str, Dict[str, Any]]] = None) -> None:
+        self.module = module
+        self.functions: Dict[str, Dict[str, Any]] = functions or {}
+        self.attr_types: Dict[str, Dict[str, Any]] = attr_types or {}
+        self.tables: Dict[str, Dict[str, Any]] = tables or {}
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "module": self.module,
+            "functions": self.functions,
+            "attr_types": self.attr_types,
+            "tables": self.tables,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ModuleFlow":
+        return cls(data["module"], data.get("functions", {}),
+                   data.get("attr_types", {}), data.get("tables", {}))
+
+
+def _collect_attr_types(cls_node: ast.ClassDef,
+                        flow: ModuleFlow) -> Dict[str, Any]:
+    """Instance-attribute types of one class, from class-body annotations
+    and ``self.x = ...`` assignments in method bodies."""
+    attrs: Dict[str, Any] = {}
+    for item in cls_node.body:
+        if (isinstance(item, ast.AnnAssign)
+                and isinstance(item.target, ast.Name)
+                and item.target.id != "__slots__"):
+            info = _ann_info(item.annotation)
+            if info:
+                attrs[item.target.id] = info
+    for item in cls_node.body:
+        if not isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        params: Dict[str, Any] = {}
+        args = list(getattr(item.args, "posonlyargs", [])) + \
+            list(item.args.args) + list(item.args.kwonlyargs)
+        for arg in args:
+            info = _ann_info(arg.annotation)
+            if info:
+                params[arg.arg] = info
+        for stmt in ast.walk(item):
+            target: Optional[ast.expr] = None
+            value: Optional[ast.expr] = None
+            annotation: Optional[ast.expr] = None
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                target, value = stmt.targets[0], stmt.value
+            elif isinstance(stmt, ast.AnnAssign):
+                target, value, annotation = stmt.target, stmt.value, \
+                    stmt.annotation
+            if not (isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"):
+                continue
+            name = target.attr
+            if annotation is not None:
+                info = _ann_info(annotation)
+                if info:
+                    attrs[name] = info
+                continue
+            if name in attrs:  # annotations win over inference
+                continue
+            if isinstance(value, ast.Call):
+                ref = name_ref_of(value.func)
+                if ref is not None:
+                    attrs[name] = {"construct": list(ref)}
+            elif isinstance(value, ast.Name) and value.id in params:
+                attrs[name] = dict(params[value.id])
+            elif value is not None:
+                desc = _value_desc(value)
+                if desc is not None and desc["k"] == "listof":
+                    attrs[name] = {"construct_elem": desc["ref"]}
+    return attrs
+
+
+def _collect_tables(tree: ast.Module) -> Dict[str, Dict[str, Any]]:
+    """Module-level dispatch tables: dict literals (and ``TABLE[k] = v``
+    registrations) mapping keys to callables."""
+    tables: Dict[str, Dict[str, Any]] = {}
+    for stmt in tree.body:
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+            target: ast.expr = stmt.targets[0]
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            target = stmt.target
+        else:
+            continue
+        if isinstance(target, ast.Name) and isinstance(stmt.value, ast.Dict):
+            entry = tables.setdefault(
+                target.id, {"keys": [], "values": []})
+            for key, value in zip(stmt.value.keys, stmt.value.values):
+                key_ref = name_ref_of(key) if key is not None else None
+                entry["keys"].append(
+                    list(key_ref) if key_ref is not None else None)
+                value_ref = name_ref_of(value)
+                entry["values"].append(
+                    list(value_ref) if value_ref is not None else None)
+        elif (isinstance(target, ast.Subscript)
+                and isinstance(target.value, ast.Name)):
+            entry = tables.setdefault(
+                target.value.id, {"keys": [], "values": []})
+            key_ref = name_ref_of(target.slice) \
+                if isinstance(target.slice, ast.expr) else None
+            entry["keys"].append(
+                list(key_ref) if key_ref is not None else None)
+            value_ref = name_ref_of(stmt.value)
+            entry["values"].append(
+                list(value_ref) if value_ref is not None else None)
+    return tables
+
+
+def extract_module_flow(summary: ModuleSummary,
+                        tree: ast.Module) -> ModuleFlow:
+    """Extract the full flow summary of one parsed module."""
+    flow = ModuleFlow(summary.module)
+    flow.tables = _collect_tables(tree)
+
+    def visit(node: ast.AST, class_name: Optional[str],
+              prefix: str) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qualname = prefix + child.name
+                extractor = _FunctionExtractor(
+                    summary, child, qualname, class_name)
+                flow.functions[qualname] = extractor.info
+                visit(child, class_name, qualname + ".")
+            elif isinstance(child, ast.ClassDef):
+                flow.attr_types[child.name] = _collect_attr_types(
+                    child, flow)
+                visit(child, child.name, child.name + ".")
+            else:
+                visit(child, class_name, prefix)
+
+    visit(tree, None, "")
+    return flow

@@ -14,15 +14,26 @@ resolves to ``(module, name)`` through the file's import table, and class
 bases are chased to a fixpoint across all indexed modules.  Method calls
 are resolved only through ``self``/a locally defined class, never through
 arbitrary receiver expressions -- an unresolvable receiver produces *no*
-finding rather than a speculative one.
+finding rather than a speculative one.  (The interprocedural layer in
+:mod:`repro.lint.flow` builds a richer resolver on top of this index.)
+
+Summaries are plain data: every field survives a ``to_dict`` /
+``from_dict`` round trip, which is what lets ``repro-lint --changed``
+rebuild the project index from the on-disk cache without re-parsing
+unchanged files.
 """
 
 from __future__ import annotations
 
 import ast
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 Symbol = Tuple[str, str]  # (dotted module, name)
+
+#: A serializable reference to a not-yet-resolved name:
+#: ``("name", id)`` for a bare name, ``("qual", base, attr)`` for
+#: ``base.attr``.  Resolved against a module's import table.
+NameRef = Tuple[str, ...]
 
 #: Effect classes every repro tree is assumed to have, so single-file
 #: fixtures (and partial lint runs) resolve them without parsing
@@ -80,40 +91,87 @@ def function_is_generator(fn: ast.AST) -> bool:
     return False
 
 
+def name_ref_of(node: ast.expr) -> Optional[NameRef]:
+    """Serializable reference for ``Name`` / ``Name.attr`` expressions."""
+    if isinstance(node, ast.Name):
+        return ("name", node.id)
+    if isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name):
+        return ("qual", node.value.id, node.attr)
+    return None
+
+
 class ClassSummary:
-    """What RL002/RL006 need to know about one class definition."""
+    """What RL002/RL006 (and the flow layer) need to know about one
+    class definition.  Pure data; serializable."""
 
-    __slots__ = ("name", "lineno", "col_offset", "bases", "generator_methods",
-                 "has_slots", "local_base_names")
+    __slots__ = ("name", "lineno", "col_offset", "base_refs",
+                 "generator_methods", "methods", "has_slots",
+                 "local_base_names")
 
-    def __init__(self, node: ast.ClassDef):
-        self.name = node.name
-        self.lineno = node.lineno
-        self.col_offset = node.col_offset
-        self.bases: List[ast.expr] = list(node.bases)
-        self.generator_methods: Set[str] = set()
-        self.has_slots = False
+    def __init__(self, name: str, lineno: int = 0, col_offset: int = 0,
+                 base_refs: Optional[List[NameRef]] = None,
+                 generator_methods: Optional[Set[str]] = None,
+                 methods: Optional[Set[str]] = None,
+                 has_slots: bool = False) -> None:
+        self.name = name
+        self.lineno = lineno
+        self.col_offset = col_offset
+        self.base_refs: List[NameRef] = list(base_refs or [])
+        self.generator_methods: Set[str] = set(generator_methods or ())
+        self.methods: Set[str] = set(methods or ())
+        self.has_slots = has_slots
         self.local_base_names: List[str] = [
-            base.id for base in node.bases if isinstance(base, ast.Name)
+            ref[1] for ref in self.base_refs if ref[0] == "name"
         ]
+
+    @classmethod
+    def from_ast(cls, node: ast.ClassDef) -> "ClassSummary":
+        base_refs = [
+            ref for ref in (name_ref_of(base) for base in node.bases)
+            if ref is not None
+        ]
+        summary = cls(node.name, node.lineno, node.col_offset, base_refs)
         for item in node.body:
             if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                summary.methods.add(item.name)
                 if function_is_generator(item):
-                    self.generator_methods.add(item.name)
+                    summary.generator_methods.add(item.name)
             elif isinstance(item, ast.Assign):
                 for target in item.targets:
                     if isinstance(target, ast.Name) and target.id == "__slots__":
-                        self.has_slots = True
+                        summary.has_slots = True
             elif isinstance(item, ast.AnnAssign):
                 if (isinstance(item.target, ast.Name)
                         and item.target.id == "__slots__"):
-                    self.has_slots = True
+                    summary.has_slots = True
+        return summary
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "lineno": self.lineno,
+            "col_offset": self.col_offset,
+            "base_refs": [list(ref) for ref in self.base_refs],
+            "generator_methods": sorted(self.generator_methods),
+            "methods": sorted(self.methods),
+            "has_slots": self.has_slots,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ClassSummary":
+        return cls(
+            data["name"], data.get("lineno", 0), data.get("col_offset", 0),
+            [tuple(ref) for ref in data.get("base_refs", [])],
+            set(data.get("generator_methods", [])),
+            set(data.get("methods", [])),
+            data.get("has_slots", False),
+        )
 
 
 class ModuleSummary:
     """Imports and definitions of one module, for name resolution."""
 
-    def __init__(self, module: str, tree: ast.Module):
+    def __init__(self, module: str, tree: Optional[ast.Module] = None) -> None:
         self.module = module
         # local alias -> dotted module ("import repro.effects as fx")
         self.module_aliases: Dict[str, str] = {}
@@ -121,7 +179,8 @@ class ModuleSummary:
         self.from_imports: Dict[str, Symbol] = {}
         self.generator_functions: Set[str] = set()
         self.classes: Dict[str, ClassSummary] = {}
-        self._collect(tree)
+        if tree is not None:
+            self._collect(tree)
 
     def _collect(self, tree: ast.Module) -> None:
         for node in ast.walk(tree):
@@ -142,10 +201,36 @@ class ModuleSummary:
                     local = alias.asname or alias.name
                     self.from_imports[local] = (source, alias.name)
             elif isinstance(node, ast.ClassDef):
-                self.classes[node.name] = ClassSummary(node)
+                self.classes[node.name] = ClassSummary.from_ast(node)
             elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
                 if function_is_generator(node):
                     self.generator_functions.add(node.name)
+
+    # -- serialization (repro-lint --changed / index cache) ----------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "module": self.module,
+            "module_aliases": dict(self.module_aliases),
+            "from_imports": {k: list(v) for k, v in self.from_imports.items()},
+            "generator_functions": sorted(self.generator_functions),
+            "classes": {name: cls.to_dict()
+                        for name, cls in self.classes.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ModuleSummary":
+        summary = cls(data["module"])
+        summary.module_aliases = dict(data.get("module_aliases", {}))
+        summary.from_imports = {
+            k: (v[0], v[1]) for k, v in data.get("from_imports", {}).items()
+        }
+        summary.generator_functions = set(data.get("generator_functions", []))
+        summary.classes = {
+            name: ClassSummary.from_dict(entry)
+            for name, entry in data.get("classes", {}).items()
+        }
+        return summary
 
     # -- name resolution -------------------------------------------------
 
@@ -167,29 +252,39 @@ class ModuleSummary:
             return f"{module}.{symbol}" if module else symbol
         return None
 
+    def resolve_ref(self, ref: Optional[NameRef]) -> Optional[Symbol]:
+        """Resolve a serialized :data:`NameRef` to a symbol, or None."""
+        if ref is None:
+            return None
+        if ref[0] == "name":
+            return self.resolve_name(ref[1])
+        if ref[0] == "qual":
+            qualifier = self.resolve_qualifier(ref[1])
+            if qualifier is not None:
+                return (qualifier, ref[2])
+        return None
+
     def resolve_callable(self, func: ast.expr) -> Optional[Symbol]:
         """Resolve the callee of a Call to a symbol, or None.
 
         Handles ``name(...)`` and ``mod.name(...)``; receiver expressions
         other than an imported module are left unresolved on purpose.
         """
-        if isinstance(func, ast.Name):
-            return self.resolve_name(func.id)
-        if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
-            qualifier = self.resolve_qualifier(func.value.id)
-            if qualifier is not None:
-                return (qualifier, func.attr)
-        return None
+        return self.resolve_ref(name_ref_of(func))
 
 
 class ProjectIndex:
     """Cross-module view: effect-class closure + generator registry."""
 
-    def __init__(self, summaries: Dict[str, ModuleSummary]):
+    def __init__(self, summaries: Dict[str, ModuleSummary]) -> None:
         self.summaries = summaries
         self.effect_classes: Set[Symbol] = set(EFFECT_CLASS_SEEDS)
         self.kernel_classes: Set[Symbol] = set(KERNEL_CLASS_SEEDS)
         self.effect_factories: Set[Symbol] = set(EFFECT_FACTORY_SEEDS)
+        #: Attached by the engine when ``--flow`` is on; the RF rules
+        #: read it.  Typed loosely to avoid an import cycle with
+        #: repro.lint.flow.
+        self.flow: Optional[Any] = None
         self._close_subclasses(self.effect_classes)
         self._close_subclasses(self.kernel_classes)
 
@@ -202,7 +297,7 @@ class ProjectIndex:
                     symbol = (summary.module, cls.name)
                     if symbol in closure:
                         continue
-                    for base in cls.bases:
+                    for base in cls.base_refs:
                         resolved = self._resolve_base(summary, base)
                         if resolved is not None and resolved in closure:
                             closure.add(symbol)
@@ -210,17 +305,24 @@ class ProjectIndex:
                             break
 
     @staticmethod
-    def _resolve_base(summary: ModuleSummary, base: ast.expr) -> Optional[Symbol]:
-        if isinstance(base, ast.Name):
-            resolved = summary.resolve_name(base.id)
-            if resolved is not None:
-                return resolved
-            return (summary.module, base.id)  # forward/local reference
-        if isinstance(base, ast.Attribute) and isinstance(base.value, ast.Name):
-            qualifier = summary.resolve_qualifier(base.value.id)
-            if qualifier is not None:
-                return (qualifier, base.attr)
+    def _resolve_base(summary: ModuleSummary,
+                      base: NameRef) -> Optional[Symbol]:
+        resolved = summary.resolve_ref(base)
+        if resolved is not None:
+            return resolved
+        if base[0] == "name":
+            return (summary.module, base[1])  # forward/local reference
         return None
+
+    def resolve_base_symbols(self, summary: ModuleSummary,
+                             cls: ClassSummary) -> List[Symbol]:
+        """Resolved base-class symbols of ``cls`` (flow-layer helper)."""
+        symbols: List[Symbol] = []
+        for base in cls.base_refs:
+            resolved = self._resolve_base(summary, base)
+            if resolved is not None:
+                symbols.append(resolved)
+        return symbols
 
     # -- queries used by the rules ---------------------------------------
 
@@ -259,3 +361,20 @@ class ProjectIndex:
             methods.update(cls.generator_methods)
             stack.extend(cls.local_base_names)
         return methods
+
+
+def find_class(summaries: Dict[str, ModuleSummary],
+               symbol: Symbol) -> Optional[Tuple[ModuleSummary, ClassSummary]]:
+    """Locate a class summary by symbol across indexed modules."""
+    summary = summaries.get(symbol[0])
+    if summary is None:
+        return None
+    cls = summary.classes.get(symbol[1])
+    if cls is None:
+        return None
+    return summary, cls
+
+
+def in_prefixes(module: str, prefixes: Sequence[str]) -> bool:
+    """True if ``module`` is one of ``prefixes`` or nested under one."""
+    return any(module == p or module.startswith(p + ".") for p in prefixes)

@@ -64,7 +64,7 @@ class _FunctionContext:
     __slots__ = ("node", "is_generator", "class_name")
 
     def __init__(self, node: ast.AST, is_generator: bool,
-                 class_name: Optional[str]):
+                 class_name: Optional[str]) -> None:
         self.node = node
         self.is_generator = is_generator
         self.class_name = class_name
@@ -163,7 +163,8 @@ it).  If the construction is intentional, add
 `# repro-lint: ignore[RL001]` with a justification.
 """
 
-    def check(self, module, tree, index):
+    def check(self, module: ModuleSummary, tree: ast.Module,
+              index: ProjectIndex) -> Iterator[Tuple[ast.AST, str]]:
         for stmt in ast.walk(tree):
             if isinstance(stmt, ast.Expr):
                 name = _effect_call_name(stmt.value, module, index)
@@ -220,13 +221,16 @@ an argument, not a dropped statement.
 Fix: delegate with `yield from`, or drive the generator explicitly.
 """
 
-    def check(self, module, tree, index):
+    def check(self, module: ModuleSummary, tree: ast.Module,
+              index: ProjectIndex) -> Iterator[Tuple[ast.AST, str]]:
         for ctx in _walk_functions(tree):
             cls = ctx.class_name
             for child in ast.iter_child_nodes(ctx.node):
                 yield from self._check_body(child, module, index, ctx, cls)
 
-    def _check_body(self, node, module, index, ctx, cls):
+    def _check_body(self, node: ast.AST, module: ModuleSummary,
+                    index: ProjectIndex, ctx: _FunctionContext,
+                    cls: Optional[str]) -> Iterator[Tuple[ast.AST, str]]:
         if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
                              ast.Lambda)):
             return  # nested defs get their own _FunctionContext
@@ -281,7 +285,8 @@ on `from time import ...` of those names, inside the simulated-time
 packages.
 """
 
-    def check(self, module, tree, index):
+    def check(self, module: ModuleSummary, tree: ast.Module,
+              index: ProjectIndex) -> Iterator[Tuple[ast.AST, str]]:
         if not in_packages(module.module, SIMULATED_TIME_PACKAGES):
             return
         for node in ast.walk(tree):
@@ -325,7 +330,8 @@ repro.workloads and repro.bench.simcluster already do.
 
     _CLASS_NAMES = frozenset({"Random", "SystemRandom"})
 
-    def check(self, module, tree, index):
+    def check(self, module: ModuleSummary, tree: ast.Module,
+              index: ProjectIndex) -> Iterator[Tuple[ast.AST, str]]:
         for node in ast.walk(tree):
             if not isinstance(node, ast.Call):
                 continue
@@ -383,7 +389,8 @@ order.  Membership *tests* against sets are of course fine.
             return True
         return False
 
-    def check(self, module, tree, index):
+    def check(self, module: ModuleSummary, tree: ast.Module,
+              index: ProjectIndex) -> Iterator[Tuple[ast.AST, str]]:
         for node in ast.walk(tree):
             iters: List[ast.expr] = []
             if isinstance(node, (ast.For, ast.AsyncFor)):
@@ -419,7 +426,8 @@ assign `__slots__`.  Subclasses that add no attributes still need
 `__slots__ = ()`.
 """
 
-    def check(self, module, tree, index):
+    def check(self, module: ModuleSummary, tree: ast.Module,
+              index: ProjectIndex) -> Iterator[Tuple[ast.AST, str]]:
         for node in ast.walk(tree):
             if not isinstance(node, ast.ClassDef):
                 continue
@@ -469,7 +477,8 @@ Fix: default to None and create the container inside the function.
             return name in MUTABLE_DEFAULT_CALLS
         return False
 
-    def check(self, module, tree, index):
+    def check(self, module: ModuleSummary, tree: ast.Module,
+              index: ProjectIndex) -> Iterator[Tuple[ast.AST, str]]:
         for node in ast.walk(tree):
             if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
                                      ast.Lambda)):
@@ -533,7 +542,8 @@ manager's own tid-counter refill -- carry
             return node.attr
         return None
 
-    def check(self, module, tree, index):
+    def check(self, module: ModuleSummary, tree: ast.Module,
+              index: ProjectIndex) -> Iterator[Tuple[ast.AST, str]]:
         if not in_packages(module.module, self.PROTOCOL_PACKAGES):
             return
         for node in ast.walk(tree):
@@ -648,7 +658,8 @@ carry `# repro-lint: ignore[RL009]` with a justification.
             return None
         return receiver
 
-    def check(self, module, tree, index):
+    def check(self, module: ModuleSummary, tree: ast.Module,
+              index: ProjectIndex) -> Iterator[Tuple[ast.AST, str]]:
         name = module.module
         if not in_packages(name, (self.OBSERVER_PACKAGE,)):
             return
@@ -714,7 +725,8 @@ __main__) on:
 
     _OBS_RECEIVERS = frozenset({"obs", "tracer", "registry", "span"})
 
-    def check(self, module, tree, index):
+    def check(self, module: ModuleSummary, tree: ast.Module,
+              index: ProjectIndex) -> Iterator[Tuple[ast.AST, str]]:
         name = module.module
         if not in_packages(name, (self.OBSERVER_PACKAGE,)):
             return
@@ -818,11 +830,14 @@ Delay once before the loop (`pause = delay_of(step)` ... `yield pause`).
                         bound.add(leaf.id)
         return frozenset(bound)
 
-    def check(self, module, tree, index):
+    def check(self, module: ModuleSummary, tree: ast.Module,
+              index: ProjectIndex) -> Iterator[Tuple[ast.AST, str]]:
         if not in_packages(module.module, self._HOT_PATH_PACKAGES):
             return
 
-        def visit(node, loops):
+        def visit(node: ast.AST,
+                  loops: Tuple[ast.AST, ...]
+                  ) -> Iterator[Tuple[ast.AST, str]]:
             for child in ast.iter_child_nodes(node):
                 if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
                                       ast.Lambda)):
