@@ -39,10 +39,19 @@ class DatabaseConfig:
     coalescing: bool = False
     #: Attach a :class:`repro.obs.Observability` hub to the deployment.
     observability: bool = False
+    #: Isolation protocol: "si" (snapshot isolation, the paper's default),
+    #: "wsi" (write-snapshot isolation) or "ssi" (serializable SI).  See
+    #: ``docs/isolation.md`` and :mod:`repro.core.isolation`.
+    isolation: str = "si"
 
     def __post_init__(self) -> None:
         if self.commit_managers < 1:
             raise InvalidState("need at least one commit manager")
+        if self.isolation not in ("si", "wsi", "ssi"):
+            raise InvalidState(
+                f"unknown isolation mode {self.isolation!r} "
+                f"(expected si, wsi, or ssi)"
+            )
         if self.storage_nodes < 1:
             raise InvalidState("need at least one storage node")
         if self.replication_factor < 1:

@@ -24,6 +24,7 @@ from repro.api.config import DatabaseConfig
 from repro.api.runner import DirectRunner, Router
 from repro.core.buffers import make_strategy
 from repro.core.commit_manager import CommitManager
+from repro.core.isolation import make_protocol, make_validator
 from repro.core.processing_node import ProcessingNode
 from repro.core.recovery import recover_processing_node
 from repro.core.txlog import TransactionLog
@@ -57,11 +58,16 @@ class Database:
             partitions_per_node=config.partitions_per_node,
         )
         self.management = ManagementNode(self.cluster)
+        self.protocol = make_protocol(config.isolation)
+        # Shared across every manager of the deployment (see
+        # repro.core.isolation.make_validator); None under plain SI.
+        self.validator = make_validator(config.isolation)
         self.commit_managers: List[CommitManager] = [
             CommitManager(
                 cm_id, self.cluster.execute, config.tid_range_size,
                 interleaved=config.interleaved_tids,
                 n_managers=config.commit_managers,
+                validator=self.validator,
             )
             for cm_id in range(config.commit_managers)
         ]
@@ -118,7 +124,10 @@ class Database:
             raise InvalidState("database is closed")
         pn_id = self._next_pn_id
         self._next_pn_id += 1
-        pn = ProcessingNode(pn_id, buffers=make_strategy(self.buffering))
+        pn = ProcessingNode(
+            pn_id, buffers=make_strategy(self.buffering),
+            protocol=self.protocol,
+        )
         commit_manager = self.commit_managers[pn_id % len(self.commit_managers)]
         router = Router(self.cluster, commit_manager, pn_id)
         self.processing_nodes[pn_id] = pn
@@ -159,9 +168,20 @@ class Database:
                 "starts (paper Section 4.4.3)"
             )
         peer_ids = [m.cm_id for m in self.commit_managers if m.cm_id != cm_id]
+        # The WSI/SSI validator is shared deployment state: with live
+        # peers it survives the crash (it models store-synchronized
+        # records).  A single-manager deployment loses it with the
+        # manager, so the replacement gets a fresh one whose recovery
+        # horizon conservatively aborts pre-crash transactions.
+        validator = failed.validator
+        if validator is not None and len(self.commit_managers) == 1:
+            validator = make_validator(self.config.isolation)
         replacement = CommitManager.recover(
             cm_id, self.cluster.execute, peer_ids,
             tid_range_size=failed.tid_range_size,
+            interleaved=failed.interleaved,
+            n_managers=failed.n_managers,
+            validator=validator,
         )
         # After a full drain (no manager has active transactions), every
         # tid up to the shared counter has completed, so the counter
@@ -185,6 +205,9 @@ class Database:
                 replacement.last_assigned_tid = max(
                     replacement.last_assigned_tid, counter
                 )
+        if validator is not None and validator is not failed.validator:
+            validator.mark_recovered(replacement.highest_known_tid())
+            self.validator = validator
         self.commit_managers[cm_id] = replacement
         for runner in self._runners.values():
             if runner.router.commit_manager is failed:

@@ -187,11 +187,12 @@ def main(argv=None) -> int:
                         help=f"one or more of: {', '.join(EXPERIMENTS)}")
     parser.add_argument("--list", action="store_true",
                         help="list available experiments")
-    parser.add_argument("--suite", choices=("scale",),
+    parser.add_argument("--suite", choices=("scale", "isolation"),
                         help="run a benchmark suite instead of the paper "
                              "experiments (scale: 16/64/128-node + "
-                             "100-warehouse deployments, appended to the "
-                             "perf report)")
+                             "100-warehouse deployments; isolation: the "
+                             "same skew workload under SI/WSI/SSI; both "
+                             "appended to the perf report)")
     parser.add_argument("--smoke", action="store_true",
                         help="with --suite: run only the smoke-sized "
                              "configuration (the CI gate)")
@@ -228,6 +229,20 @@ def main(argv=None) -> int:
         if args.report != "-":
             merge_scale_report(args.report, points)
             print(f"[scale points merged into {args.report}]")
+        return 0
+
+    if args.suite == "isolation":
+        from repro.bench.isolation import (merge_isolation_report,
+                                           render_isolation_table,
+                                           run_isolation_suite)
+
+        if args.sanitize:
+            os.environ["REPRO_SANITIZE"] = "1"
+        rows = run_isolation_suite()
+        print(render_isolation_table(rows))
+        if args.report != "-":
+            merge_isolation_report(args.report, rows)
+            print(f"[isolation rows merged into {args.report}]")
         return 0
 
     if args.list or not args.experiments:

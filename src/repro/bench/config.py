@@ -39,6 +39,10 @@ class TellConfig:
     #: simulation, which the determinism digest pins down.
     coalescing: bool = False
     threads_per_pn: int = 32         # synchronous worker threads per PN
+    #: Isolation protocol: si | wsi | ssi (repro.core.isolation).  SI is
+    #: the paper's protocol and keeps the simulation byte-identical to
+    #: the historical driver.
+    isolation: str = "si"
 
     # CPU cost model
     cpu_per_row_us: float = 10.0     # query processing work per row touched

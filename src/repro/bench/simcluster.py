@@ -35,6 +35,7 @@ from repro.dispatch import (
     KIND_CM_ABORTED,
     KIND_CM_COMMITTED,
     KIND_CM_START,
+    KIND_CM_VALIDATE,
     KIND_COMPUTE,
     KIND_SCAN,
     KIND_SLEEP,
@@ -517,18 +518,22 @@ class SimFabric:
         pool = self.cm_pools[cm_index]
         now = self.sim.now
         self.stats.messages += 1
+        refilled = False
         if kind == KIND_CM_START:
             result: Any = manager.start(pn_id)
+            refilled = result.range_refilled
         elif kind == KIND_CM_COMMITTED:
             manager.set_committed(request.tid)
             result = None
+        elif kind == KIND_CM_VALIDATE:
+            result = manager.validate_commit(request)
         else:
             manager.set_aborted(request.tid)
             result = None
         cm_wire = self._cm_wire_us
         _s, t_end = pool.reserve(now + cm_wire, self._cm_service_us)
         t_response = t_end + cm_wire
-        if result is not None and result.range_refilled:
+        if refilled:
             t_response += self.profile.round_trip() + 2.0
         return result, t_response - now
 
@@ -564,11 +569,19 @@ class SimulatedTell:
             replication_factor=config.replication_factor,
             partitions_per_node=config.partitions_per_node,
         )
+        from repro.core.isolation import make_protocol, make_validator
+
+        isolation = getattr(config, "isolation", "si")
+        self.protocol = make_protocol(isolation)
+        # One validator shared by every manager: it models validation
+        # state synchronized through the store, not per-manager memory.
+        self.validator = make_validator(isolation)
         self.commit_managers = [
             CommitManager(
                 cm_id, self.cluster.execute, config.tid_range_size,
                 interleaved=config.interleaved_tids,
                 n_managers=config.commit_managers,
+                validator=self.validator,
             )
             for cm_id in range(config.commit_managers)
         ]
@@ -597,7 +610,7 @@ class SimulatedTell:
         if sanitizers_enabled():
             from repro.san import make_sanitizers
 
-            self.sanitizer_log, chain = make_sanitizers()
+            self.sanitizer_log, chain = make_sanitizers(isolation=isolation)
             self.interceptors.extend(chain)
         self._pn_handles: List[Tuple[ProcessingNode, CorePool, int, IndexManager]] = []
         self._populated = False
@@ -632,6 +645,7 @@ class SimulatedTell:
             pn_id,
             buffers=make_strategy(self.config.buffering),
             clock=lambda: self.sim.now,
+            protocol=self.protocol,
         )
         pool = CorePool(self.config.pn_cores)
         cm_index = pn_id % len(self.commit_managers)

@@ -2,8 +2,13 @@
 
 A commit manager hands a starting transaction three things: a system-wide
 unique tid, a snapshot descriptor, and the lowest active version number
-(lav).  It is deliberately lightweight -- it performs *no* commit
-validation (conflicts are detected by LL/SC in the storage layer).
+(lav).  Under the paper's protocol (snapshot isolation) it is
+deliberately lightweight -- it performs *no* commit validation
+(conflicts are detected by LL/SC in the storage layer).  Under the
+read-validating isolation protocols (WSI/SSI, ``repro.core.isolation``)
+it additionally serves ``ValidateCommit`` requests against a shared
+validator object; plain SI deployments leave ``validator`` unset and pay
+nothing.
 
 Several commit managers can run in parallel:
 
@@ -50,6 +55,7 @@ class CommitManager:
         tid_range_size: int = 256,
         interleaved: bool = False,
         n_managers: int = 1,
+        validator: Optional[Any] = None,
     ):
         """``interleaved=True`` enables the tid scheme the paper lists as
         near-future work (Section 4.2, citing [58]): instead of acquiring
@@ -83,6 +89,12 @@ class CommitManager:
         self.starts_served = 0
         self.range_refills = 0
         self.sync_rounds = 0
+        # Read-validation state for the WSI/SSI isolation protocols
+        # (repro.core.isolation.validation); None under plain SI.  All
+        # managers of a deployment share ONE validator instance.
+        self.validator = validator
+        self.validations = 0
+        self.validation_aborts = 0
 
     # -- tid ranges -----------------------------------------------------------
 
@@ -128,7 +140,36 @@ class CommitManager:
     def set_aborted(self, tid: int) -> None:
         """setAborted(tid): updates were rolled back before this call, so
         the tid can safely enter the completed set."""
+        if self.validator is not None:
+            # The tid may have validated and registered before failing at
+            # LL/SC or index maintenance: un-register it.
+            self.validator.on_aborted(tid)
         self._finish(tid)
+
+    def validate_commit(self, request: effects.ValidateCommit) -> Any:
+        """Serve a WSI/SSI commit validation (``ValidateCommit``)."""
+        if self.validator is None:
+            raise InvalidState(
+                f"commit manager {self.cm_id} runs plain SI; "
+                "no validator is attached"
+            )
+        self.validations += 1
+        verdict = self.validator.validate_and_register(
+            request.tid,
+            request.snapshot,
+            request.read_keys,
+            request.write_keys,
+            self.lowest_active_version(),
+        )
+        if not verdict.ok:
+            self.validation_aborts += 1
+        return verdict
+
+    @property
+    def isolation_name(self) -> str:
+        """Mode string for reports/observability ("si" without a
+        validator, else the validator's mode)."""
+        return "si" if self.validator is None else self.validator.mode
 
     def _finish(self, tid: int) -> None:
         self.completed.mark_completed(tid)
@@ -230,6 +271,20 @@ class CommitManager:
         peers = max(self._peer_last_tid.values(), default=0)
         return max(self.last_assigned_tid, peers)
 
+    def _advance_stripe_past(self, horizon: int) -> None:
+        """Interleaved mode, after recovery: skip every tid of our
+        residue class up to and including ``horizon``.  The crashed
+        predecessor may have assigned any of them, so handing them out
+        again would violate tid uniqueness; marking them completed lets
+        the global base version advance past them (exactly like stripe
+        retirement for an idle manager)."""
+        while True:
+            tid = self._next_stripe * self.n_managers + self.cm_id + 1
+            if tid > horizon:
+                break
+            self.completed.mark_completed(tid)
+            self._next_stripe += 1
+
     @classmethod
     def recover(
         cls,
@@ -237,19 +292,31 @@ class CommitManager:
         store_execute: Callable[[effects.Request], Any],
         peer_ids: List[int],
         tid_range_size: int = 256,
+        interleaved: bool = False,
+        n_managers: int = 1,
+        validator: Optional[Any] = None,
     ) -> "CommitManager":
         """Start a replacement manager, restoring state from the store.
 
-        The tid counter guarantees fresh tids; published peer state (or the
-        failed manager's own last publication) restores the snapshot.
+        The tid counter guarantees fresh tids (in interleaved mode the
+        stripe cursor is advanced past every tid the failed manager may
+        have assigned); published peer state (or the failed manager's own
+        last publication) restores the snapshot.  ``validator`` re-attaches
+        the deployment's shared WSI/SSI validation state -- pass a *fresh*
+        validator with :meth:`~repro.core.isolation.validation.CommitValidator.mark_recovered`
+        applied when the failed manager was the only holder of it.
         """
-        manager = cls(cm_id, store_execute, tid_range_size)
+        manager = cls(cm_id, store_execute, tid_range_size,
+                      interleaved=interleaved, n_managers=n_managers,
+                      validator=validator)
         value, _version = store_execute(effects.Get(META_SPACE, _state_key(cm_id)))
         if value is not None:
             base, bits, _lav, last_tid = value
             manager.completed.merge_snapshot(SnapshotDescriptor(base, bits))
             manager.last_assigned_tid = last_tid
         manager.absorb_peers(peer_ids)
+        if interleaved:
+            manager._advance_stripe_past(manager.highest_known_tid())
         return manager
 
     def __repr__(self) -> str:

@@ -1,0 +1,96 @@
+"""Pluggable isolation protocols for the commit pipeline.
+
+Three first-class variants (``docs/isolation.md`` has the full matrix):
+
+* ``si``  -- snapshot isolation, the paper's protocol (Section 4.1).
+  No read tracking, no validation round trip; the commit pipeline is
+  byte-identical to the historical ``Transaction.commit``.
+* ``wsi`` -- write-snapshot isolation: the transaction's read set is
+  captured on the PN and validated at the commit manager against keys
+  written by concurrent commits.
+* ``ssi`` -- serializable SI: the commit manager additionally tracks
+  rw-antidependencies between recent commits and aborts transactions
+  that would complete a dangerous structure.
+
+This package is the *only* place allowed to touch the read-set /
+validation state directly (``txn._read_keys``, the validator's commit
+window) -- lint rule RL012 enforces the boundary.  Everything else goes
+through :func:`make_protocol` / :func:`make_validator` and the protocol
+hooks on :class:`~repro.core.isolation.base.IsolationProtocol`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.isolation.base import IsolationProtocol, SIProtocol
+from repro.core.isolation.validated import (
+    SSIProtocol,
+    ValidatedProtocol,
+    WSIProtocol,
+)
+from repro.core.isolation.validation import (
+    CommitValidator,
+    SSICommitValidator,
+    ValidationVerdict,
+)
+from repro.errors import InvalidState
+
+#: Accepted values of ``DatabaseConfig.isolation`` / ``connect(isolation=)``.
+ISOLATION_MODES = ("si", "wsi", "ssi")
+
+#: Shared stateless SI instance: the default protocol everywhere a
+#: processing node is built without an explicit choice.
+DEFAULT_PROTOCOL = SIProtocol()
+
+_PROTOCOLS = {
+    "si": DEFAULT_PROTOCOL,
+    "wsi": WSIProtocol(),
+    "ssi": SSIProtocol(),
+}
+
+
+def make_protocol(isolation: str = "si") -> IsolationProtocol:
+    """The (shared, stateless) protocol instance for ``isolation``."""
+    try:
+        return _PROTOCOLS[isolation]
+    except KeyError:
+        raise InvalidState(
+            f"unknown isolation mode {isolation!r}; pick one of "
+            f"{', '.join(ISOLATION_MODES)}"
+        ) from None
+
+
+def make_validator(isolation: str = "si") -> Optional[CommitValidator]:
+    """The commit-manager validator for ``isolation`` (None under SI).
+
+    Deployments with several commit managers must share one validator
+    instance across all of them -- it models validation state kept in
+    the (synchronized) store, not per-manager memory.
+    """
+    if isolation == "si":
+        return None
+    if isolation == "wsi":
+        return CommitValidator()
+    if isolation == "ssi":
+        return SSICommitValidator()
+    raise InvalidState(
+        f"unknown isolation mode {isolation!r}; pick one of "
+        f"{', '.join(ISOLATION_MODES)}"
+    )
+
+
+__all__ = [
+    "ISOLATION_MODES",
+    "DEFAULT_PROTOCOL",
+    "IsolationProtocol",
+    "SIProtocol",
+    "ValidatedProtocol",
+    "WSIProtocol",
+    "SSIProtocol",
+    "CommitValidator",
+    "SSICommitValidator",
+    "ValidationVerdict",
+    "make_protocol",
+    "make_validator",
+]

@@ -1,0 +1,71 @@
+"""The read-validating protocols: WSI and SSI.
+
+Both capture the transaction's read set on the processing node (a dict
+used as an insertion-ordered set, installed by :meth:`attach`) and add
+one commit-manager round trip -- :class:`repro.effects.ValidateCommit` --
+to the writing commit path.  The admission rule itself lives with the
+commit manager's validator (:mod:`repro.core.isolation.validation`); the
+protocol variants differ only in which validator the deployment builds,
+so WSI and SSI share this single protocol class hierarchy.
+
+Read-only transactions keep the SI fast path: WSI admits them by
+definition, and the SSI approximation documented in ``validation.py``
+does not certify them either way.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator, Sequence
+
+from repro import effects
+from repro.core.isolation.base import IsolationProtocol
+from repro.core.txlog import LogEntry
+
+if TYPE_CHECKING:
+    from repro.core.transaction import Transaction
+
+
+class ValidatedProtocol(IsolationProtocol):
+    """Shared machinery for protocols that validate reads at commit."""
+
+    tracks_reads = True
+
+    def attach(self, txn: "Transaction") -> None:
+        # Dict-as-ordered-set: deterministic iteration order for the
+        # ValidateCommit payload regardless of key hashing.
+        txn._read_keys = {}
+
+    def note_reads(self, txn: "Transaction", keys: Sequence[Any]) -> None:
+        read_keys = txn._read_keys
+        for key in keys:
+            read_keys[key] = None
+
+    def note_scanned(self, txn: "Transaction", keys: Sequence[Any]) -> None:
+        read_keys = txn._read_keys
+        for key in keys:
+            read_keys[key] = None
+
+    def validate(self, txn: "Transaction", entry: LogEntry) -> Generator:
+        span = txn.span
+        validate_child = span.child("validate") if span is not None else None
+        verdict = yield effects.ValidateCommit(
+            txn.tid, tuple(txn._read_keys), txn.write_set, txn.snapshot
+        )
+        if validate_child is not None:
+            validate_child.finish()
+        if not verdict.ok:
+            yield from txn._finish_abort(
+                entry, f"{self.name} validation: {verdict.reason}"
+            )
+
+
+class WSIProtocol(ValidatedProtocol):
+    """Write-snapshot isolation (commit-time read validation)."""
+
+    name = "wsi"
+
+
+class SSIProtocol(ValidatedProtocol):
+    """Serializable SI via rw-antidependency tracking at the CM."""
+
+    name = "ssi"

@@ -1,0 +1,220 @@
+"""Commit-time validation state for the read-validating protocols.
+
+The commit manager owns one :class:`CommitValidator` (WSI) or
+:class:`SSICommitValidator` (SSI) per deployment.  Both keep a *recent
+commit window*: for every transaction that validated successfully and is
+(about to be) committed, the key sets it read and wrote.  A transaction
+asking to commit is checked against the window entries it is concurrent
+with -- entries outside its snapshot -- and either admitted (and
+registered in the window itself) or told to abort.
+
+The window is bounded by the lowest active version: an entry whose tid is
+contained in *every* active snapshot can never be concurrent with a
+future validator call, so entries with ``tid <= lav`` are pruned on each
+validation.  The lav handed in may be stale (peer views lag by one sync
+interval) but staleness only keeps entries longer -- never drops one that
+is still needed -- so pruning is sound.
+
+Deployments with several commit managers share a *single* validator
+instance, modelling the store-synchronized validation record the real
+system would keep; see ``docs/isolation.md``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+
+class ValidationVerdict:
+    """Result of a :class:`repro.effects.ValidateCommit` request."""
+
+    __slots__ = ("ok", "reason", "conflict_tid")
+
+    def __init__(self, ok: bool, reason: str = "",
+                 conflict_tid: Optional[int] = None) -> None:
+        self.ok = ok
+        self.reason = reason
+        self.conflict_tid = conflict_tid
+
+    def __repr__(self) -> str:
+        if self.ok:
+            return "ValidationVerdict(ok)"
+        return f"ValidationVerdict(abort: {self.reason})"
+
+
+_ADMIT = ValidationVerdict(True)
+
+
+class _WindowEntry:
+    """One validated-and-committing transaction in the commit window."""
+
+    __slots__ = ("read_keys", "write_keys", "out_rw")
+
+    def __init__(self, read_keys: frozenset, write_keys: frozenset) -> None:
+        self.read_keys = read_keys
+        self.write_keys = write_keys
+        # SSI only: this transaction has an outgoing rw-antidependency
+        # (it read something a concurrent committed transaction wrote).
+        self.out_rw = False
+
+
+class CommitValidator:
+    """Write-snapshot isolation (WSI) validation.
+
+    Rule ("A Critique of Snapshot Isolation"): a committing *writer* must
+    abort iff some concurrent committed transaction wrote a key the
+    committer read.  Read-only transactions never validate (they observed
+    a consistent snapshot, which WSI admits unconditionally), and
+    write-write conflicts are still resolved by LL/SC in the store -- the
+    validator only adds the read-write check SI lacks.
+    """
+
+    mode = "wsi"
+
+    def __init__(self) -> None:
+        # tid -> entry, insertion-ordered (tids are admitted roughly in
+        # commit order, so pruning walks a prefix).
+        self._commit_window: Dict[int, _WindowEntry] = {}
+        # Transactions whose snapshot predates this horizon cannot be
+        # validated soundly (window state was lost in a crash).
+        self._validation_horizon = 0
+
+    # -- bookkeeping ----------------------------------------------------------
+
+    def is_empty(self) -> bool:
+        return not self._commit_window
+
+    def window_size(self) -> int:
+        return len(self._commit_window)
+
+    def on_aborted(self, tid: int) -> None:
+        """The transaction validated but then failed LL/SC: un-register
+        it so it cannot abort others."""
+        self._commit_window.pop(tid, None)
+
+    def mark_recovered(self, horizon_tid: int) -> None:
+        """Called after a fail-over rebuilt the validator from nothing:
+        transactions that started before ``horizon_tid`` was assigned may
+        have concurrent commits we no longer remember, so they must abort
+        conservatively."""
+        if horizon_tid > self._validation_horizon:
+            self._validation_horizon = horizon_tid
+
+    def _prune(self, lav: int) -> None:
+        window = self._commit_window
+        for tid in [t for t in window if t <= lav]:
+            del window[tid]
+
+    # -- the validation call --------------------------------------------------
+
+    def validate_and_register(
+        self,
+        tid: int,
+        snapshot: Any,
+        read_keys: Tuple[Any, ...],
+        write_keys: Tuple[Any, ...],
+        lav: int,
+    ) -> ValidationVerdict:
+        self._prune(lav)
+        if snapshot.base < self._validation_horizon:
+            return ValidationVerdict(
+                False,
+                "validator recovered after fail-over; transactions from "
+                "before the crash must restart",
+            )
+        entry = _WindowEntry(frozenset(read_keys), frozenset(write_keys))
+        verdict = self._check(tid, snapshot, entry)
+        if verdict.ok:
+            self._register(tid, snapshot, entry)
+        return verdict
+
+    def _concurrent(self, tid: int, snapshot: Any):
+        """Window entries not contained in the committer's snapshot."""
+        for ctid, entry in self._commit_window.items():
+            if ctid != tid and not snapshot.contains(ctid):
+                yield ctid, entry
+
+    def _check(self, tid: int, snapshot: Any,
+               entry: _WindowEntry) -> ValidationVerdict:
+        if not entry.write_keys:
+            return _ADMIT  # read-only: WSI admits unconditionally
+        reads = entry.read_keys
+        for ctid, committed in self._concurrent(tid, snapshot):
+            if committed.write_keys & reads:
+                return ValidationVerdict(
+                    False,
+                    f"read key overwritten by concurrent commit {ctid}",
+                    conflict_tid=ctid,
+                )
+        return _ADMIT
+
+    def _register(self, tid: int, snapshot: Any, entry: _WindowEntry) -> None:
+        if entry.write_keys:  # read-only txns never conflict anyone
+            self._commit_window[tid] = entry
+
+
+class SSICommitValidator(CommitValidator):
+    """Serializable snapshot isolation, commit-time approximation.
+
+    Cahill/Fekete SSI aborts a transaction involved in a *dangerous
+    structure*: two consecutive rw-antidependency edges between
+    concurrent transactions.  Lacking in-flight read tracking, this
+    validator approximates at commit time against the recent-commit
+    window:
+
+    * ``out_to``  -- concurrent committed transactions that *wrote* a key
+      the committer read (the committer has an outgoing rw edge).
+    * ``in_from`` -- concurrent committed transactions that *read* a key
+      the committer writes (the committer has an incoming rw edge).
+
+    The committer aborts if it would be the pivot (both an incoming and
+    an outgoing edge) or if any ``out_to`` transaction already had an
+    outgoing edge of its own (the committer completes someone else's
+    dangerous structure).  On admit, every ``in_from`` entry is
+    retroactively flagged ``out_rw`` -- its outgoing edge now provably
+    exists -- and the committer registers with its own flag.
+
+    The approximation is conservative for write-heavy anomalies (it
+    eliminates write skew, which the sanitizer's dependency-graph oracle
+    confirms) but does not certify read-only participants; see
+    ``docs/isolation.md`` for the precise guarantee.
+    """
+
+    mode = "ssi"
+
+    def _check(self, tid: int, snapshot: Any,
+               entry: _WindowEntry) -> ValidationVerdict:
+        if not entry.write_keys:
+            return _ADMIT
+        reads, writes = entry.read_keys, entry.write_keys
+        out_to = []
+        in_from = []
+        for ctid, committed in self._concurrent(tid, snapshot):
+            if committed.write_keys & reads:
+                out_to.append((ctid, committed))
+            if committed.read_keys & writes:
+                in_from.append((ctid, committed))
+        if out_to and in_from:
+            return ValidationVerdict(
+                False,
+                f"pivot in a dangerous structure (rw in from "
+                f"{in_from[0][0]}, rw out to {out_to[0][0]})",
+                conflict_tid=out_to[0][0],
+            )
+        for ctid, committed in out_to:
+            if committed.out_rw:
+                return ValidationVerdict(
+                    False,
+                    f"closes dangerous structure through pivot {ctid}",
+                    conflict_tid=ctid,
+                )
+        entry.out_rw = bool(out_to)
+        for _ctid, committed in in_from:
+            committed.out_rw = True
+        return _ADMIT
+
+    def _register(self, tid: int, snapshot: Any, entry: _WindowEntry) -> None:
+        # Unlike WSI, read-only commits matter: a later writer overlapping
+        # this read set gains an *incoming* rw edge.  Register writers and
+        # readers alike.
+        self._commit_window[tid] = entry

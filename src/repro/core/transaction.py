@@ -13,6 +13,13 @@ Implements the life-cycle of Section 4.3:
    the commit manager is notified.  *Abort* -- applied updates are rolled
    back, then the commit manager is notified.
 
+The Try-Commit sequence itself lives with the processing node's
+:class:`~repro.core.isolation.IsolationProtocol` (``commit()`` delegates
+to it): snapshot isolation runs exactly the pipeline above, while the
+read-validating protocols (WSI/SSI) capture read keys through the hooks
+in the read paths below and insert a validation stage before the first
+update is applied.
+
 All store-touching methods are generator coroutines.
 """
 
@@ -27,11 +34,9 @@ from repro.core.snapshot import TxnStart
 from repro.core.spaces import DATA_SPACE
 from repro.core.txlog import (
     STATUS_ABORTED,
-    STATUS_COMMITTED,
     LogEntry,
 )
 from repro.errors import (
-    DuplicateKey,
     InvalidState,
     KeyNotFound,
     TransactionAborted,
@@ -70,6 +75,8 @@ class Transaction:
         # observability.  Carried explicitly (no ambient span stack --
         # simulated coroutines interleave at every yield).
         self.span = None
+        self.protocol = pn.protocol
+        self.protocol.attach(self)
 
     # -- reads ------------------------------------------------------------------
 
@@ -97,6 +104,9 @@ class Transaction:
             yield from self._fetch(to_fetch)
             for key in to_fetch:
                 result[key] = self._visible_payload(key)
+        protocol = self.protocol
+        if protocol.tracks_reads:
+            protocol.note_reads(self, keys)
         return result
 
     def read_for_update(self, key: Any) -> Generator:
@@ -110,10 +120,18 @@ class Transaction:
         writer -- or concurrent for-update reader -- conflicts at commit.
         This is the classic conflict-materialization fix applications use
         to close SI's serializability gaps selectively.
+
+        A *missing* key is materialized as a tombstone write: the commit
+        will issue a store-conditional create-at-version-0 for it, so two
+        concurrent FOR UPDATE readers of the same absent key conflict
+        exactly like two readers of a present one (previously the read
+        silently degraded to a plain read and both could proceed).  The
+        tombstone keeps the key absent for later reads in this
+        transaction and commits as a no-op delete version.
         """
         payload = yield from self.read(key)
-        if payload is not None and key not in self._writes:
-            self._writes[key] = payload
+        if key not in self._writes:
+            self._writes[key] = payload if payload is not None else TOMBSTONE
         return payload
 
     def _fetch(self, keys: List[Any]) -> Generator:
@@ -180,84 +198,29 @@ class Transaction:
         """
         return dict(self._writes)
 
+    @property
+    def tracks_reads(self) -> bool:
+        """True when the isolation protocol captures read keys (access
+        paths outside the core read methods -- e.g. table scans -- must
+        then report observed keys via :meth:`note_scanned`)."""
+        return self.protocol.tracks_reads
+
+    def note_scanned(self, keys: List[Any]) -> None:
+        """Report keys observed by a scan to the isolation protocol."""
+        self.protocol.note_scanned(self, keys)
+
     def commit(self) -> Generator:
-        """Run Try-Commit; raises :class:`TransactionAborted` on conflict."""
+        """Run Try-Commit; raises :class:`TransactionAborted` on conflict.
+
+        The pipeline itself belongs to the processing node's isolation
+        protocol (:mod:`repro.core.isolation`): SI runs the historical
+        sequence unchanged, WSI/SSI insert a validation stage after the
+        log append.  Returns the protocol's generator directly (rather
+        than delegating with ``yield from``) so the strategy indirection
+        adds no frame to the hot commit path.
+        """
         self._require(TxnState.RUNNING)
-        span = self.span
-        if not self._writes and not self.index_ops:
-            # Read-only fast path: nothing to apply or log.
-            self.state = TxnState.COMMITTED
-            commit_child = span.child("commit") if span is not None else None
-            yield effects.ReportCommitted(self.tid)
-            if commit_child is not None:
-                commit_child.finish()
-            self._finish_span("committed")
-            return
-
-        # Conflict scenario 1 of Section 4.1: the record was already read
-        # *with* a version newer than our snapshot (another transaction
-        # applied after we started but before we read).  The LL/SC would
-        # succeed -- nothing changed since the read -- so this case must
-        # be detected from the version numbers themselves.
-        commit_child = span.child("commit") if span is not None else None
-        for key in self._writes:
-            if key in self._inserted:
-                continue
-            record, _cell_version = self._cache[key]
-            if record is None:
-                continue
-            newest = record.newest_tid
-            if newest != self.tid and not self.snapshot.contains(newest):
-                self.state = TxnState.ABORTED
-                yield effects.ReportAborted(self.tid)
-                self._finish_span("conflict")
-                raise TransactionAborted(
-                    self.tid,
-                    f"write-write conflict: {key!r} has newer version {newest}",
-                )
-
-        self.state = TxnState.TRY_COMMIT
-        entry = LogEntry(self.tid, self.pn.pn_id, self.pn.now(), self.write_set)
-        yield from self.pn.txlog.append(entry)
-        if commit_child is not None:
-            commit_child.finish()
-        write_child = span.child("write") if span is not None else None
-
-        puts, new_records = self._build_apply_ops()
-        results = yield effects.Batch(puts)
-
-        applied: List[Any] = []
-        conflict = False
-        for op, (ok, _version) in zip(puts, results):
-            if ok:
-                applied.append(op.key)
-            else:
-                conflict = True
-        if conflict:
-            yield from self._rollback_applied(applied)
-            yield from self._finish_abort(entry, "write-write conflict")
-
-        try:
-            yield from self._apply_index_ops()
-        except DuplicateKey as duplicate:
-            yield from self._rollback_applied(applied)
-            yield from self._finish_abort(entry, str(duplicate))
-
-        # Write-through to the PN's shared buffer (if any).
-        for op, (ok, cell_version) in zip(puts, results):
-            yield from self.pn.buffers.note_applied(
-                self.tid, op.key, new_records[op.key], cell_version
-            )
-
-        if write_child is not None:
-            write_child.finish()
-        tail_child = span.child("commit") if span is not None else None
-        yield from self.pn.txlog.set_status(entry, STATUS_COMMITTED)
-        self.state = TxnState.COMMITTED
-        yield effects.ReportCommitted(self.tid)
-        if tail_child is not None:
-            tail_child.finish()
-        self._finish_span("committed")
+        return self.protocol.commit(self)
 
     def abort(self) -> Generator:
         """Manual abort: nothing was applied, just notify the manager."""

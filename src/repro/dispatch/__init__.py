@@ -13,6 +13,7 @@ from repro.dispatch.core import (
     KIND_CM_ABORTED,
     KIND_CM_COMMITTED,
     KIND_CM_START,
+    KIND_CM_VALIDATE,
     KIND_COMPUTE,
     KIND_SCAN,
     KIND_SLEEP,
@@ -50,6 +51,7 @@ __all__ = [
     "KIND_CM_START",
     "KIND_CM_COMMITTED",
     "KIND_CM_ABORTED",
+    "KIND_CM_VALIDATE",
     "KIND_COMPUTE",
     "KIND_SLEEP",
     "ZERO_CLOCK",

@@ -45,6 +45,10 @@ KIND_CM_COMMITTED = 4
 KIND_CM_ABORTED = 5
 KIND_COMPUTE = 6
 KIND_SLEEP = 7
+#: Appended after the original kinds so the drivers' range fast paths
+#: (``kind <= KIND_SCAN``, ``KIND_CM_START <= kind <= KIND_CM_ABORTED``)
+#: keep their exact numeric meaning; only the WSI/SSI protocols yield it.
+KIND_CM_VALIDATE = 8
 
 #: Exact-class kind table: one dict lookup covers every effect the
 #: protocol actually yields.  Subclasses are classified once by
@@ -62,6 +66,7 @@ _KIND_BY_CLASS: Dict[type, int] = {
     effects.StartTransaction: KIND_CM_START,
     effects.ReportCommitted: KIND_CM_COMMITTED,
     effects.ReportAborted: KIND_CM_ABORTED,
+    effects.ValidateCommit: KIND_CM_VALIDATE,
     effects.Compute: KIND_COMPUTE,
     effects.Sleep: KIND_SLEEP,
 }
@@ -94,6 +99,8 @@ def _classify_slow(request: effects.Request) -> int:
         kind = KIND_CM_COMMITTED
     elif isinstance(request, effects.ReportAborted):
         kind = KIND_CM_ABORTED
+    elif isinstance(request, effects.ValidateCommit):
+        kind = KIND_CM_VALIDATE
     elif isinstance(request, effects.Compute):
         kind = KIND_COMPUTE
     elif isinstance(request, effects.Sleep):

@@ -21,6 +21,7 @@ from repro.dispatch.core import (
     KIND_CM_ABORTED,
     KIND_CM_COMMITTED,
     KIND_CM_START,
+    KIND_CM_VALIDATE,
     KIND_SCAN,
     DispatchContext,
     DispatchEnv,
@@ -88,6 +89,8 @@ class Dispatcher:
         if kind == KIND_CM_ABORTED:
             self._commit_manager().set_aborted(request.tid)
             return None
+        if kind == KIND_CM_VALIDATE:
+            return self._commit_manager().validate_commit(request)
         return None  # Compute/Sleep: time is not modelled in direct mode
 
     def _tail(self, request: Any) -> Generator[Any, Any, Any]:

@@ -234,6 +234,33 @@ class ReportAborted(CommitManagerRequest):
         return f"ReportAborted(tid={self.tid})"
 
 
+class ValidateCommit(CommitManagerRequest):
+    """Commit-time validation under the read-validating isolation
+    protocols (WSI / SSI, :mod:`repro.core.isolation`).
+
+    Carries the transaction's read and write key sets plus its snapshot
+    descriptor; the commit manager checks them against the recent-commit
+    window and registers the transaction on success.  Result: a
+    ``ValidationVerdict`` (``.ok`` false means the transaction must
+    abort).  Plain SI never yields this request.
+    """
+
+    __slots__ = ("tid", "read_keys", "write_keys", "snapshot")
+
+    def __init__(self, tid: int, read_keys: Sequence[Any],
+                 write_keys: Sequence[Any], snapshot: Any) -> None:
+        self.tid = tid
+        self.read_keys = tuple(read_keys)
+        self.write_keys = tuple(write_keys)
+        self.snapshot = snapshot
+
+    def __repr__(self) -> str:
+        return (
+            f"ValidateCommit(tid={self.tid}, reads={len(self.read_keys)}, "
+            f"writes={len(self.write_keys)})"
+        )
+
+
 # ---------------------------------------------------------------------------
 # Local effects
 # ---------------------------------------------------------------------------

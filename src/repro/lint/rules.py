@@ -871,6 +871,55 @@ Delay once before the loop (`pause = delay_of(step)` ... `yield pause`).
         yield from visit(tree, ())
 
 
+class RL012IsolationEncapsulation(Rule):
+    code = "RL012"
+    title = "isolation-protocol state touched outside repro.core.isolation"
+    explain = """\
+The isolation strategy layer (repro.core.isolation) owns all read-set
+and commit-validation state: the per-transaction read-key capture
+(`txn._read_keys`, installed by `IsolationProtocol.attach`) and the
+validator's window (`_commit_window`, `_validation_horizon`).  That
+ownership is what makes protocols pluggable -- SI never allocates the
+state, and WSI/SSI can change its representation freely.  Library code
+elsewhere that reads or writes these attributes directly re-hardwires
+one protocol's internals into the shared pipeline: it breaks under SI
+(the attribute does not exist), silently desynchronizes the validator
+window, and defeats the strategy seam the refactor introduced.
+
+RL012 fires on any attribute access (load, store, or delete) named
+`_read_keys`, `_commit_window`, or `_validation_horizon` in a
+`repro.*` module outside the repro.core.isolation package.  Code that
+needs the read set must go through the protocol surface instead:
+`txn.tracks_reads` / `protocol.note_reads(...)` / the yielded
+`effects.ValidateCommit` request.  Tests and tools are out of scope
+(their module names are not under `repro.`).
+"""
+
+    #: The only package allowed to touch protocol-private state.
+    ISOLATION_PACKAGE = "repro.core.isolation"
+
+    _PRIVATE_STATE = frozenset({
+        "_read_keys", "_commit_window", "_validation_horizon",
+    })
+
+    def check(self, module: ModuleSummary, tree: ast.Module,
+              index: ProjectIndex) -> Iterator[Tuple[ast.AST, str]]:
+        name = module.module
+        if not in_packages(name, ("repro",)):
+            return
+        if in_packages(name, (self.ISOLATION_PACKAGE,)):
+            return
+        for node in ast.walk(tree):
+            if (isinstance(node, ast.Attribute)
+                    and node.attr in self._PRIVATE_STATE):
+                yield node, (
+                    f"module {name} touches isolation-protocol state "
+                    f"`{node.attr}` directly; only repro.core.isolation "
+                    f"may -- go through the protocol surface "
+                    f"(tracks_reads / note_reads / ValidateCommit)"
+                )
+
+
 ALL_RULES: List[Rule] = [
     RL001DroppedEffect(),
     RL002GeneratorNotDelegated(),
@@ -883,6 +932,7 @@ ALL_RULES: List[Rule] = [
     RL009SanitizerMutation(),
     RL010SanitizerObservability(),
     RL011UninternedDelay(),
+    RL012IsolationEncapsulation(),
 ]
 
 RULES_BY_CODE = {rule.code: rule for rule in ALL_RULES}

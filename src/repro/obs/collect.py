@@ -55,6 +55,16 @@ def watch_commit_manager(registry: MetricsRegistry, cm: object) -> None:
         gauge.set(len(cm.active_transactions()), cm=label, what="active")
         gauge.set(cm.completed_view().base, cm=label, what="base_version")
         gauge.set(cm.lowest_active_version(), cm=label, what="lav")
+        # Isolation protocol surface: mode plus the WSI/SSI validation
+        # counters (both stay 0 under plain SI).
+        gauge.set(getattr(cm, "validations", 0), cm=label,
+                  what="validations")
+        gauge.set(getattr(cm, "validation_aborts", 0), cm=label,
+                  what="validation_aborts")
+        reg.gauge("repro_isolation_mode",
+                  "1 for the commit manager's configured isolation "
+                  "protocol").set(
+            1.0, cm=label, mode=getattr(cm, "isolation_name", "si"))
 
     registry.register_collector(collect)
 

@@ -115,7 +115,9 @@ def phase_table_rows(snapshot: dict) -> List[list]:
     """Tabular per-phase latency breakdown (the Table-4 shape).
 
     Columns: txn, count, mean total (ms), then mean ms in each of
-    snapshot / read / write / commit / other.
+    snapshot / read / validate / write / commit / other.  The validate
+    column is the WSI/SSI commit-time validation round trip; it renders
+    "-" under plain SI, which never opens that phase.
     """
     rows = []
     for row in snapshot.get("phases", {}).get("rows", []):
@@ -131,12 +133,12 @@ def phase_table_rows(snapshot: dict) -> List[list]:
 
         rows.append([
             row["txn"], row["count"], f"{row['mean_us'] / 1000.0:.3f}",
-            mean_ms("snapshot"), mean_ms("read"), mean_ms("write"),
-            mean_ms("commit"), mean_ms("other"),
+            mean_ms("snapshot"), mean_ms("read"), mean_ms("validate"),
+            mean_ms("write"), mean_ms("commit"), mean_ms("other"),
         ])
     return rows
 
 
 PHASE_TABLE_HEADERS = ["Txn", "Count", "Total (ms)", "Snapshot (ms)",
-                       "Read (ms)", "Write (ms)", "Commit (ms)",
-                       "Other (ms)"]
+                       "Read (ms)", "Validate (ms)", "Write (ms)",
+                       "Commit (ms)", "Other (ms)"]

@@ -3,7 +3,9 @@
 A *root span* covers one transaction from ``begin`` to commit/abort.
 Child spans mark the phases the paper's Table 4 decomposes response time
 into -- ``snapshot`` (tid + snapshot acquisition from the commit manager),
-``read`` (record fetches through the buffer), ``write`` (batch apply,
+``read`` (record fetches through the buffer), ``validate`` (the WSI/SSI
+commit-time read validation round trip, between the commit precheck and
+the write phase; always zero under plain SI), ``write`` (batch apply,
 index maintenance, write-through), ``commit`` (log append and the commit
 protocol tail), plus ``abort`` for rollback work.  Whatever is left of
 the root duration is attributed to ``other`` (application compute).
@@ -20,7 +22,7 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Optional
 
 #: Phase names recognised by the Table-4 breakdown, in presentation order.
-PHASES = ("snapshot", "read", "write", "commit", "abort")
+PHASES = ("snapshot", "read", "validate", "write", "commit", "abort")
 
 
 class Span:

@@ -44,6 +44,7 @@ def sanitizers_enabled() -> bool:
 
 def make_sanitizers(
     log: Optional[ViolationLog] = None,
+    isolation: str = "si",
 ) -> Tuple[ViolationLog, List[object]]:
     """Build the standard sanitizer chain sharing one shadow history.
 
@@ -53,6 +54,11 @@ def make_sanitizers(
     against the *pre-write* shadow before the (outermost) SI sanitizer
     folds the write in.  The sanitizer imports stay lazy so the default
     (sanitizers-off) paths never pay for loading the dispatch stack.
+
+    ``isolation`` names the deployment's protocol: under the
+    read-validating modes ("wsi"/"ssi") the SI sanitizer's dependency
+    analysis escalates write-skew cycles from reports to violations --
+    the protocol promised to prevent them.
     """
     from repro.san.chain import VersionChainSanitizer
     from repro.san.gcsan import GCSanitizer
@@ -62,7 +68,7 @@ def make_sanitizers(
         log = ViolationLog()
     shadow = ShadowHistory()
     chain: List[object] = [
-        SISanitizer(log, shadow),
+        SISanitizer(log, shadow, serializable=isolation != "si"),
         GCSanitizer(log, shadow),
         VersionChainSanitizer(log),
     ]

@@ -15,6 +15,7 @@ prefix.
 from __future__ import annotations
 
 import argparse
+import functools
 import sys
 from typing import List
 
@@ -39,6 +40,10 @@ def main(argv: List[str] = None) -> int:
                         help="resume time jitter in us for random schedules")
     parser.add_argument("--minimize", action="store_true",
                         help="shrink failing traces to a minimal prefix")
+    parser.add_argument("--isolation", choices=("si", "wsi", "ssi"),
+                        default="si",
+                        help="isolation protocol for the deployment under "
+                             "test (default si)")
     parser.add_argument("--list", action="store_true",
                         help="list scenarios and exit")
     args = parser.parse_args(argv)
@@ -52,7 +57,7 @@ def main(argv: List[str] = None) -> int:
     names = args.scenario or sorted(SCENARIOS)
     exit_code = 0
     for name in names:
-        scenario = SCENARIOS[name]
+        scenario = functools.partial(SCENARIOS[name], isolation=args.isolation)
         baseline = scenario(None)  # the deterministic FIFO schedule first
         explorer = ScheduleExplorer(
             scenario, schedules=args.schedules, seed=args.seed,
@@ -61,7 +66,7 @@ def main(argv: List[str] = None) -> int:
         failures = explorer.run()
         reports = len(baseline.reports)
         print(
-            f"[{name}] baseline: "
+            f"[{name}:{args.isolation}] baseline: "
             f"{'clean' if baseline.clean else 'VIOLATIONS'}"
             f"{f' ({reports} report(s))' if reports else ''}; "
             f"explored {explorer.runs} schedules, "

@@ -48,14 +48,20 @@ class SimWorld:
     """
 
     def __init__(self, policy: Optional[SchedulerPolicy] = None,
-                 n_pns: int = 2, storage_nodes: int = 2) -> None:
+                 n_pns: int = 2, storage_nodes: int = 2,
+                 isolation: str = "si") -> None:
+        from repro.core.isolation import make_protocol, make_validator
+
         self.config = TellConfig(
             processing_nodes=n_pns,
             storage_nodes=storage_nodes,
             replication_factor=1,
             partitions_per_node=4,
             threads_per_pn=1,
+            isolation=isolation,
         )
+        self.isolation = isolation
+        self.protocol = make_protocol(isolation)
         self.sim = Simulator(policy)
         self.cluster = StorageCluster(
             n_nodes=storage_nodes,
@@ -63,12 +69,13 @@ class SimWorld:
             partitions_per_node=4,
         )
         self.commit_manager = CommitManager(
-            0, self.cluster.execute, tid_range_size=16
+            0, self.cluster.execute, tid_range_size=16,
+            validator=make_validator(isolation),
         )
         self.fabric = SimFabric(
             self.sim, self.cluster, [self.commit_manager], self.config
         )
-        self.log, self.sanitizers = make_sanitizers()
+        self.log, self.sanitizers = make_sanitizers(isolation=isolation)
         attach_all(
             self.sanitizers,
             DispatchEnv(
@@ -82,6 +89,7 @@ class SimWorld:
                 pn_id,
                 buffers=make_strategy("tb"),
                 clock=lambda: self.sim.now,
+                protocol=self.protocol,
             )
             for pn_id in range(n_pns)
         ]
@@ -195,7 +203,8 @@ def _increment_worker(world: SimWorld, pn_id: int, key: Any, rounds: int,
 COUNTER_KEY = 900_001
 
 
-def lost_update(policy: Optional[SchedulerPolicy] = None) -> ViolationLog:
+def lost_update(policy: Optional[SchedulerPolicy] = None,
+                isolation: str = "si") -> ViolationLog:
     """Concurrent read-modify-write on one counter from two PNs.
 
     Under correct LL/SC every committed increment survives; the final
@@ -204,7 +213,7 @@ def lost_update(policy: Optional[SchedulerPolicy] = None) -> ViolationLog:
     the shadow (SI-STALE-SC / SI-LOST-UPDATE) and loses increments,
     which the end-state assertion catches independently (SCN-COUNTER).
     """
-    world = SimWorld(policy)
+    world = SimWorld(policy, isolation=isolation)
     world.seed({COUNTER_KEY: (0,)})
     workers = [
         world.spawn(
@@ -232,7 +241,8 @@ def lost_update(policy: Optional[SchedulerPolicy] = None) -> ViolationLog:
 GC_KEYS = (910_001, 910_002)
 
 
-def gc_pressure(policy: Optional[SchedulerPolicy] = None) -> ViolationLog:
+def gc_pressure(policy: Optional[SchedulerPolicy] = None,
+                isolation: str = "si") -> ViolationLog:
     """Writers churn versions while a long-running snapshot stays open.
 
     The reader pins the lowest active version, so eager GC must retain
@@ -242,7 +252,7 @@ def gc_pressure(policy: Optional[SchedulerPolicy] = None) -> ViolationLog:
     GC-LIVE-SNAPSHOT) and the seeded visibility mutation (SI-READ), and
     asserts the snapshot never goes dark (SCN-SNAPSHOT-LOST).
     """
-    world = SimWorld(policy)
+    world = SimWorld(policy, isolation=isolation)
     world.seed({GC_KEYS[0]: (0,), GC_KEYS[1]: (0,)})
     holder_done: List[Any] = []
 
@@ -288,13 +298,17 @@ def gc_pressure(policy: Optional[SchedulerPolicy] = None) -> ViolationLog:
 SKEW_KEYS = (920_001, 920_002)
 
 
-def write_skew(policy: Optional[SchedulerPolicy] = None) -> ViolationLog:
+def write_skew(policy: Optional[SchedulerPolicy] = None,
+               isolation: str = "si") -> ViolationLog:
     """The classic two-doctors-on-call shape: disjoint writes over
-    overlapping reads.  SI commits both transactions; the scenario must
-    end *clean* with the anomaly surfaced as an SSI-WRITE-SKEW *report*
-    from the dependency-graph analysis, never as a violation.
+    overlapping reads.  Under SI both transactions commit; the scenario
+    must end *clean* with the anomaly surfaced as an SSI-WRITE-SKEW
+    *report* from the dependency-graph analysis, never as a violation.
+    Under the read-validating protocols (``isolation="wsi"``/``"ssi"``)
+    commit-time validation aborts one doctor, so the dependency graph --
+    now escalating cycles to violations -- must find nothing at all.
     """
-    world = SimWorld(policy)
+    world = SimWorld(policy, isolation=isolation)
     world.seed({SKEW_KEYS[0]: (1,), SKEW_KEYS[1]: (1,)})
 
     def doctor(pn_id: int, write_key: Any) -> Generator:
@@ -324,7 +338,8 @@ def write_skew(policy: Optional[SchedulerPolicy] = None) -> ViolationLog:
 INDEX_RIDS = tuple(range(930_001, 930_009))
 
 
-def index_gc(policy: Optional[SchedulerPolicy] = None) -> ViolationLog:
+def index_gc(policy: Optional[SchedulerPolicy] = None,
+             isolation: str = "si") -> ViolationLog:
     """Index maintenance vs garbage collection.
 
     Insert indexed rows, delete half of them (tombstones + index-entry
@@ -332,7 +347,7 @@ def index_gc(policy: Optional[SchedulerPolicy] = None) -> ViolationLog:
     cells, then walk the B+tree: every surviving entry must still
     resolve to a live record (IDX-DANGLE otherwise).
     """
-    world = SimWorld(policy, n_pns=1)
+    world = SimWorld(policy, n_pns=1, isolation=isolation)
     btree = DistributedBTree(index_id=1)
     world.run_one(0, btree.create(), "idx-create")
 

@@ -84,9 +84,15 @@ class SISanitizer(Interceptor):
     """
 
     def __init__(self, log: ViolationLog,
-                 shadow: Optional[ShadowHistory] = None) -> None:
+                 shadow: Optional[ShadowHistory] = None,
+                 serializable: bool = False) -> None:
         self.log = log
         self.shadow = shadow if shadow is not None else ShadowHistory()
+        # Under a serializability-promising isolation protocol (WSI/SSI,
+        # repro.core.isolation) the dependency analysis escalates
+        # write-skew cycles from informational reports to violations:
+        # the protocol claimed to prevent them.
+        self.serializable = serializable
 
     def on_attach(self, env: DispatchEnv) -> None:
         # Nothing to wire; attach may run repeatedly (router clones).
@@ -366,14 +372,16 @@ class SISanitizer(Interceptor):
                     key=key, reference=reference,
                 )
 
-    # -- SSI dependency analysis (reports only) --------------------------
+    # -- SSI dependency analysis (the protocol oracle) -------------------
 
     def analyze(self) -> List[List[int]]:
         """Build the SSI dependency graph over the recent committed
-        window and *report* every strongly connected component that
-        contains an anti-dependency (rw) edge -- the shape of write skew.
-        SI permits these, so they are never violations.  Returns the
-        list of reported cycles (each a sorted tid list)."""
+        window and flag every strongly connected component that contains
+        an anti-dependency (rw) edge -- the shape of write skew.  SI
+        permits these, so under SI they are informational reports; with
+        ``serializable=True`` (deployment runs WSI/SSI) a surviving cycle
+        means the enforcing protocol failed and is logged as a violation.
+        Returns the list of flagged cycles (each a sorted tid list)."""
         committed = [
             view for view in self.shadow.finished.values()
             if view.outcome == "committed" and not view.tainted
@@ -405,13 +413,22 @@ class SISanitizer(Interceptor):
             if has_rw:
                 cycle = sorted(component)
                 cycles.append(cycle)
-                self.log.report(
-                    "SSI-WRITE-SKEW",
-                    f"dependency cycle with anti-dependencies among "
-                    f"committed tids {cycle} -- write skew (permitted "
-                    f"under SI, would abort under SSI)",
-                    tids=cycle,
-                )
+                if self.serializable:
+                    self.log.violation(
+                        "SSI-WRITE-SKEW",
+                        f"dependency cycle with anti-dependencies among "
+                        f"committed tids {cycle} -- write skew leaked "
+                        f"through a read-validating isolation protocol",
+                        tids=cycle,
+                    )
+                else:
+                    self.log.report(
+                        "SSI-WRITE-SKEW",
+                        f"dependency cycle with anti-dependencies among "
+                        f"committed tids {cycle} -- write skew (permitted "
+                        f"under SI, would abort under SSI)",
+                        tids=cycle,
+                    )
         return cycles
 
 

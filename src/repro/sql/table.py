@@ -229,6 +229,11 @@ class Table:
                 DATA_SPACE, (self.schema.table_id,), (self.schema.table_id + 1,),
                 snapshot=self.txn.snapshot, scan_filter=pushdown,
             )
+        if self.txn.tracks_reads:
+            # Read-validating isolation (WSI/SSI): every key the scan
+            # observed joins the read set, including pushdown-filtered
+            # rows resolved inside the storage nodes.
+            self.txn.note_scanned([key for key, _value, _cell in rows])
         visible: List[Tuple[int, Tuple[Any, ...]]] = []
         local = dict(self._local_rows())
         deleted = self._locally_deleted_rids()

@@ -7,9 +7,11 @@ import pytest
 
 from repro.api import Database
 from repro.api.runner import DirectRunner, Router
+from repro.core.commit_manager import CommitManager
 from repro.core.processing_node import ProcessingNode
 from repro.dispatch import FaultInjector, FaultRule, RetryPolicy
 from repro.errors import InvalidState, NodeUnavailable, TransactionAborted
+from repro.store.cluster import StorageCluster
 
 
 class TestCommitManagerFailover:
@@ -89,6 +91,135 @@ class TestCommitManagerFailover:
             a.execute("INSERT INTO t VALUES (?)", [i])
         replacement = db.crash_commit_manager(0)
         assert replacement.completed.base >= 10
+
+
+class TestInterleavedRecovery:
+    """``CommitManager.recover`` with the interleaved tid scheme, and
+    ``absorb_peers`` interacting with stripe retirement."""
+
+    def _pair(self):
+        cluster = StorageCluster(n_nodes=2, replication_factor=1)
+        cm0 = CommitManager(0, cluster.execute, interleaved=True,
+                            n_managers=2)
+        cm1 = CommitManager(1, cluster.execute, interleaved=True,
+                            n_managers=2)
+        return cluster, cm0, cm1
+
+    def test_absorb_peers_after_stripe_retirement_advances_base(self):
+        cluster, cm0, cm1 = self._pair()
+        # CM 1 is busy: assigns and completes ten tids (2, 4, ..., 20).
+        for _ in range(10):
+            start = cm1.start()
+            cm1.set_committed(start.tid)
+        cm1.publish_state()
+        # Idle CM 0 syncs: absorbs CM 1's view, then retires its own
+        # unassigned stripe tids the peer raced past (1, 3, ..., 19).
+        cm0.sync([0, 1])
+        assert cm0.completed.base >= 19
+        # Retired tids are skipped by assignment, never reused.
+        assert cm0.start().tid == 21
+
+    def test_recover_preserves_stripe_discipline(self):
+        """A recovered interleaved manager must not reassign any tid its
+        crashed predecessor may have handed out (seed bug: recover()
+        dropped interleaved/n_managers and restarted the stripe at 1)."""
+        cluster, cm0, cm1 = self._pair()
+        assigned = [cm0.start().tid for _ in range(5)]  # 1, 3, 5, 7, 9
+        for tid in assigned:
+            cm0.set_committed(tid)
+        cm1.start()  # peer holds tid 2
+        cm0.publish_state()
+        cm1.publish_state()
+        replacement = CommitManager.recover(
+            0, cluster.execute, peer_ids=[1],
+            interleaved=True, n_managers=2,
+        )
+        assert replacement.interleaved
+        assert replacement.n_managers == 2
+        fresh = replacement.start().tid
+        assert fresh % 2 == 1  # still CM 0's residue class
+        assert fresh > max(assigned)
+
+    def test_recover_skips_past_peer_horizon(self):
+        """Even tids the *predecessor* never assigned are skipped when a
+        synced peer already raced past them: the predecessor might have
+        assigned them between its last publication and the crash."""
+        cluster, cm0, cm1 = self._pair()
+        cm0.publish_state()  # publishes last_assigned_tid == 0
+        for _ in range(10):
+            start = cm1.start()
+            cm1.set_committed(start.tid)
+        cm1.publish_state()
+        replacement = CommitManager.recover(
+            0, cluster.execute, peer_ids=[1],
+            interleaved=True, n_managers=2,
+        )
+        # highest known tid is 20 (from the peer): stripe resumes above.
+        assert replacement.start().tid == 21
+        # The skipped stripe tids were marked completed, so the global
+        # base can advance past them once the peer's tids complete.
+        assert replacement.completed_view().contains(19)
+
+    def test_embedded_interleaved_failover_end_to_end(self):
+        db = Database(commit_managers=2, interleaved_tids=True)
+        a = db.session()  # CM 0
+        a.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+        for i in range(5):
+            a.execute("INSERT INTO t VALUES (?, ?)", [i, i])
+        high = db.commit_managers[0].last_assigned_tid
+        db.sync_commit_managers()
+        replacement = db.crash_commit_manager(0)
+        assert replacement.interleaved
+        a.execute("UPDATE t SET v = 99 WHERE id = 0")
+        assert replacement.last_assigned_tid > high
+        assert replacement.last_assigned_tid % 2 == 1
+        assert a.query("SELECT v FROM t WHERE id = 0") == [{"v": 99}]
+
+
+class TestValidatorFailover:
+    """The WSI/SSI validator across commit-manager replacement."""
+
+    def test_single_manager_failover_replaces_the_validator(self):
+        db = Database(isolation="wsi")
+        session = db.session()
+        session.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+        session.execute("INSERT INTO t VALUES (1, 1)")
+        lost = db.validator
+        replacement = db.crash_commit_manager(0)
+        # The only holder crashed: the deployment gets a fresh validator
+        # with a recovery horizon, not the lost window.
+        assert db.validator is not lost
+        assert replacement.validator is db.validator
+        assert replacement.isolation_name == "wsi"
+        assert db.validator._validation_horizon > 0
+        # Post-crash transactions start above the horizon and validate.
+        before = replacement.validations
+        session.execute("UPDATE t SET v = 2 WHERE id = 1")
+        assert replacement.validations > before
+        assert session.query("SELECT v FROM t WHERE id = 1") == [{"v": 2}]
+
+    def test_multi_manager_failover_keeps_the_shared_validator(self):
+        db = Database(isolation="ssi", commit_managers=2)
+        shared = db.validator
+        session = db.session()  # CM 0
+        session.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+        session.execute("INSERT INTO t VALUES (1, 1)")
+        db.sync_commit_managers()
+        replacement = db.crash_commit_manager(0)
+        # A live peer still holds the shared validation state.
+        assert db.validator is shared
+        assert replacement.validator is shared
+        assert shared._validation_horizon == 0
+        session.execute("UPDATE t SET v = 2 WHERE id = 1")
+        assert session.query("SELECT v FROM t WHERE id = 1") == [{"v": 2}]
+
+    def test_si_failover_keeps_validator_none(self):
+        db = Database()
+        db.session().execute("CREATE TABLE t (id INT PRIMARY KEY)")
+        replacement = db.crash_commit_manager(0)
+        assert db.validator is None
+        assert replacement.validator is None
+        assert replacement.isolation_name == "si"
 
 
 class TestTransientStorageErrors:

@@ -428,6 +428,8 @@ class TestRequestReprs:
         (effects.StartTransaction(), "StartTransaction()"),
         (effects.ReportCommitted(7), "ReportCommitted(tid=7)"),
         (effects.ReportAborted(8), "ReportAborted(tid=8)"),
+        (effects.ValidateCommit(9, [1, 2], [2], None),
+         "ValidateCommit(tid=9, reads=2, writes=1)"),
         (effects.Compute(2.5), "Compute(2.5)"),
         (effects.Sleep(9.0), "Sleep(9.0)"),
     ]

@@ -15,6 +15,9 @@ from repro.lint.engine import module_name_for
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
 TRANSACTION_PY = REPO_ROOT / "src" / "repro" / "core" / "transaction.py"
+ISOLATION_BASE_PY = (
+    REPO_ROOT / "src" / "repro" / "core" / "isolation" / "base.py"
+)
 
 
 def findings_for(source, module="repro.core.example"):
@@ -698,6 +701,63 @@ class TestRL011:
         """, module="repro.core.fixture") == []
 
 
+# ---------------------------------------------------------------------------
+# RL012 -- isolation-protocol state touched outside repro.core.isolation
+# ---------------------------------------------------------------------------
+
+
+class TestRL012:
+    def test_read_keys_load_fires(self):
+        assert codes("""
+            def snoop(txn):
+                return list(txn._read_keys)
+        """, module="repro.core.transaction") == ["RL012"]
+
+    def test_read_keys_store_fires(self):
+        assert codes("""
+            def hijack(txn):
+                txn._read_keys = {}
+        """, module="repro.sql.table") == ["RL012"]
+
+    def test_commit_window_access_fires(self):
+        assert codes("""
+            def peek(validator):
+                return len(validator._commit_window)
+        """, module="repro.api.database") == ["RL012"]
+
+    def test_validation_horizon_access_fires(self):
+        assert codes("""
+            def rewind(validator):
+                validator._validation_horizon = 0
+        """, module="repro.bench.simcluster") == ["RL012"]
+
+    def test_isolation_package_is_exempt(self):
+        assert codes("""
+            def attach(txn):
+                txn._read_keys = {}
+        """, module="repro.core.isolation.validated") == []
+
+    def test_outside_repro_is_exempt(self):
+        # Tests and tools address the state directly by design.
+        assert codes("""
+            def assert_window(validator):
+                assert not validator._commit_window
+        """, module="test_isolation") == []
+
+    def test_protocol_surface_is_clean(self):
+        assert codes("""
+            def scan_hook(txn, keys):
+                if txn.tracks_reads:
+                    txn.note_scanned(keys)
+        """, module="repro.sql.table") == []
+
+    def test_suppression(self):
+        assert codes("""
+            def probe(txn):
+                return txn._read_keys  # repro-lint: ignore[RL012] fixture
+        """, module="repro.core.fixture") == []
+
+
 class TestEngine:
     def test_skip_file(self):
         assert codes("""
@@ -851,13 +911,15 @@ class TestShippedTree:
         assert "RL001" in [f.rule for f in found]
 
     def test_deleting_yield_before_report_committed_trips_rl001(self):
-        real = TRANSACTION_PY.read_text()
+        # The commit pipeline (and its ReportCommitted yields) lives in
+        # the isolation strategy layer now.
+        real = ISOLATION_BASE_PY.read_text()
         mutated = real.replace(
-            "yield effects.ReportCommitted(self.tid)",
-            "effects.ReportCommitted(self.tid)",
+            "yield effects.ReportCommitted(txn.tid)",
+            "effects.ReportCommitted(txn.tid)",
         )
         assert mutated != real
-        found = lint_source(mutated, module="repro.core.transaction")
+        found = lint_source(mutated, module="repro.core.isolation.base")
         assert [f.rule for f in found].count("RL001") >= 1
 
     def test_deleting_yield_from_trips_rl002(self):
@@ -872,4 +934,9 @@ class TestShippedTree:
     def test_unmutated_transaction_is_clean(self):
         assert lint_source(
             TRANSACTION_PY.read_text(), module="repro.core.transaction"
+        ) == []
+
+    def test_unmutated_isolation_base_is_clean(self):
+        assert lint_source(
+            ISOLATION_BASE_PY.read_text(), module="repro.core.isolation.base"
         ) == []
