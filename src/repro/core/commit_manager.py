@@ -20,6 +20,14 @@ Several commit managers can run in parallel:
   others'.  Views are therefore delayed by at most the sync interval,
   which is legitimate (slightly older snapshots only raise the conflict
   probability, Section 6.3.3).
+
+Atomicity contract (checked by ``repro-lint --atomic``): the
+completed-set / stripe-cursor and active-base / active-PN fields are
+``INVARIANT_PAIRS`` -- their updaters are deliberately synchronous
+(no yield between the paired writes, RA003), peer-state absorption must
+not re-enter the event loop per peer (RA002), and a validator that
+registers a committer must release it on abort via ``on_aborted``
+(RA005).
 """
 
 from __future__ import annotations

@@ -10,7 +10,11 @@ Two strategies cooperate:
 * *Lazy* GC is a background task sweeping the data space in intervals,
   catching rarely-accessed records the eager path never sees.
 
-This module implements the lazy sweeper.
+This module implements the lazy sweeper.  Its prune write *must* stay a
+``PutIfVersion`` conditioned on the version observed in the scan: the
+scan result is stale after any later yield, and an unconditional write
+would silently clobber concurrent committers (``repro-lint --atomic``
+rule RA001 guards exactly this downgrade).
 """
 
 from __future__ import annotations

@@ -21,6 +21,12 @@ in the read paths below and insert a validation stage before the first
 update is applied.
 
 All store-touching methods are generator coroutines.
+
+Typestate contract (checked by ``repro-lint --atomic``, RA004/RA005):
+a transaction is linear -- begin, uses, then exactly one finish
+(``commit``/``abort``/a ``state = TxnState.ABORTED|COMMITTED`` write),
+and every abort path must ``yield effects.ReportAborted(tid)`` so the
+commit manager can advance LAV past the tid.
 """
 
 from __future__ import annotations

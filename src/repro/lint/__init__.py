@@ -7,11 +7,13 @@ code must never read the wall clock (RL003) or the process-global RNG
 and kernel classes must keep the ``__slots__`` hot-path contract
 (RL006), and mutable defaults leak state between runs (RL007).
 
-``repro-lint src`` enforces all of it statically; see
-``docs/static-analysis.md`` for the full rule catalog, the inline
-suppression syntax, and the baseline workflow.
+``repro-lint src`` enforces all of it statically; ``--flow`` adds the
+interprocedural RF family and ``--atomic`` the yield-point interleaving
+and typestate RA family.  See ``docs/static-analysis.md`` for the full
+rule catalog, the inline suppression syntax, and the baseline workflow.
 """
 
+from repro.lint.atomic import ATOMIC_RULES, ATOMIC_RULES_BY_CODE
 from repro.lint.baseline import Baseline
 from repro.lint.engine import (
     Finding,
@@ -25,6 +27,8 @@ from repro.lint.rules import ALL_RULES, RULES_BY_CODE
 
 __all__ = [
     "ALL_RULES",
+    "ATOMIC_RULES",
+    "ATOMIC_RULES_BY_CODE",
     "Baseline",
     "Finding",
     "LintResult",

@@ -23,11 +23,30 @@ import os
 import subprocess
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
-from repro.lint.flow.summary import ModuleFlow, extract_module_flow
+from repro.lint.atomic import ATOMIC_RULES_BY_CODE
+from repro.lint.flow.atomic import ANALYZER_VERSION
+from repro.lint.flow.rules import FLOW_RULES_BY_CODE
+from repro.lint.flow.summary import (EXTRACTION_SCHEMA, ModuleFlow,
+                                     extract_module_flow)
 from repro.lint.index import ModuleSummary
+from repro.lint.rules import RULES_BY_CODE
 
 DEFAULT_CACHE = ".repro-lint-cache.json"
 _CACHE_VERSION = 2
+
+#: Analyzer schema stamp.  Cached summaries are only data, but *which*
+#: data the extractor records (and which rules consume it) changes
+#: across repro-lint versions; a warm cache written by an older analyzer
+#: must invalidate, not silently feed stale summaries to new rules.
+#: The stamp folds in the cache layout version, the extraction schema,
+#: the atomic analyzer version, and the set of registered rule codes.
+ANALYZER_SCHEMA = "/".join((
+    str(_CACHE_VERSION),
+    str(EXTRACTION_SCHEMA),
+    ANALYZER_VERSION,
+    ",".join(sorted({**RULES_BY_CODE, **FLOW_RULES_BY_CODE,
+                     **ATOMIC_RULES_BY_CODE})),
+))
 
 
 class SummaryCache:
@@ -47,6 +66,10 @@ class SummaryCache:
             return
         if data.get("version") != _CACHE_VERSION:
             return
+        if data.get("schema") != ANALYZER_SCHEMA:
+            # Written by a different analyzer version: summaries may
+            # lack fields the current rules consume.  Start cold.
+            return
         entries = data.get("files")
         if isinstance(entries, dict):
             self.entries = entries
@@ -54,7 +77,8 @@ class SummaryCache:
     def save(self) -> None:
         if not self.dirty:
             return
-        payload = {"version": _CACHE_VERSION, "files": self.entries}
+        payload = {"version": _CACHE_VERSION, "schema": ANALYZER_SCHEMA,
+                   "files": self.entries}
         tmp = self.path + ".tmp"
         with open(tmp, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, separators=(",", ":"))
@@ -133,13 +157,16 @@ def git_changed_files(root: str = ".") -> Optional[Set[str]]:
 
 def load_project(filenames: Sequence[str], cache: Optional[SummaryCache],
                  module_name_for: Callable[[str], str],
-                 need_flow: bool) -> Dict[
+                 need_flow: bool, jobs: int = 1) -> Dict[
                      str, Tuple[str, ModuleSummary, Optional[ModuleFlow]]]:
     """Summaries for every file, from cache when valid, parsed (and
     cached) otherwise.  Returns ``{abspath: (module, summary, flow)}``;
     unparseable files are skipped (the live lint reports their syntax
-    errors if they are in the changed set)."""
+    errors if they are in the changed set).  ``jobs`` > 1 extracts the
+    cache misses in worker processes (identical output: workers return
+    the same serialized form the cache stores)."""
     project: Dict[str, Tuple[str, ModuleSummary, Optional[ModuleFlow]]] = {}
+    misses: List[Tuple[str, str]] = []
     for filename in filenames:
         key = os.path.abspath(filename)
         if cache is not None:
@@ -147,6 +174,30 @@ def load_project(filenames: Sequence[str], cache: Optional[SummaryCache],
             if hit is not None and (hit[1] is not None or not need_flow):
                 project[key] = (hit[0].module, hit[0], hit[1])
                 continue
+        misses.append((filename, key))
+    if need_flow and jobs > 1 and len(misses) > 2:
+        from repro.lint.parallel import extract_flows
+        items = []
+        texts: Dict[str, str] = {}
+        for filename, key in misses:
+            try:
+                with open(filename, "r", encoding="utf-8") as handle:
+                    texts[key] = handle.read()
+            except OSError:
+                continue
+            items.append((key, module_name_for(filename), texts[key]))
+        extracted = extract_flows(items, jobs)
+        for filename, key in misses:
+            summary_data, flow_data = extracted.get(key, (None, None))
+            if summary_data is None or flow_data is None:
+                continue
+            summary = ModuleSummary.from_dict(summary_data)
+            flow = ModuleFlow.from_dict(flow_data)
+            if cache is not None:
+                cache.store(filename, summary, flow)
+            project[key] = (summary.module, summary, flow)
+        return project
+    for filename, key in misses:
         try:
             with open(filename, "r", encoding="utf-8") as handle:
                 tree = ast.parse(handle.read())

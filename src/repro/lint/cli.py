@@ -4,6 +4,8 @@ Usage::
 
     repro-lint [PATHS...]              lint (default: src)
     repro-lint --flow src              + interprocedural RF rules
+    repro-lint --flow --atomic src     + yield-point RA rules
+    repro-lint --jobs 4 --flow src     parallel flow extraction
     repro-lint --changed src           lint only files changed per git
     repro-lint --json src              machine-readable findings
     repro-lint --explain RF001         print one rule's documentation
@@ -31,6 +33,7 @@ from repro.lint.cache import (
     resolve_changed,
     reverse_dependents,
 )
+from repro.lint.atomic import ATOMIC_RULES_BY_CODE
 from repro.lint.engine import (
     iter_python_files,
     lint_sources,
@@ -39,12 +42,23 @@ from repro.lint.engine import (
     run_rules,
 )
 from repro.lint.flow.analysis import FlowAnalysis
+from repro.lint.flow.atomic import ANALYZER_VERSION
 from repro.lint.flow.rules import FLOW_RULES_BY_CODE
 from repro.lint.rules import ALL_RULES, RULES_BY_CODE
 
 DEFAULT_BASELINE = ".repro-lint-baseline.json"
 
-_ALL_RULES_BY_CODE = {**RULES_BY_CODE, **FLOW_RULES_BY_CODE}
+#: JSON output schema tag.  /1 had no "schema"/"analyzer"/"family"
+#: fields; /2 adds them and keeps every /1 field unchanged.
+JSON_SCHEMA = "repro-lint-findings/2"
+
+_ALL_RULES_BY_CODE = {**RULES_BY_CODE, **FLOW_RULES_BY_CODE,
+                      **ATOMIC_RULES_BY_CODE}
+
+
+def _family(code: str) -> str:
+    """Rule family of a finding code: RL, RF, or RA."""
+    return code[:2] if code[:2] in ("RL", "RF", "RA") else "RL"
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -59,6 +73,12 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--flow", action="store_true",
                         help="run the interprocedural RF rules (project "
                              "call graph + taint propagation)")
+    parser.add_argument("--atomic", action="store_true",
+                        help="run the yield-point interleaving and "
+                             "typestate RA rules (implies --flow)")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes for the flow-extraction "
+                             "phase (default: 1, in-process)")
     parser.add_argument("--changed", action="store_true",
                         help="lint only files changed per git (plus their "
                              "reverse dependents under --flow); unchanged "
@@ -106,6 +126,8 @@ def _list_rules() -> int:
         print(f"{rule.code}  {rule.title}")
     for rule in FLOW_RULES_BY_CODE.values():
         print(f"{rule.code}  {rule.title}  [--flow]")
+    for rule in ATOMIC_RULES_BY_CODE.values():
+        print(f"{rule.code}  {rule.title}  [--atomic]")
     return 0
 
 
@@ -137,12 +159,13 @@ def _changed_run(args: argparse.Namespace,
         print("repro-lint: --changed requires a git checkout; "
               "running a full lint", file=sys.stderr)
         sources = load_sources(args.paths)
-        return lint_sources(sources, baseline=baseline, flow=args.flow)
+        return lint_sources(sources, baseline=baseline, flow=args.flow,
+                            atomic=args.atomic, jobs=args.jobs)
 
     cache = SummaryCache(args.cache or DEFAULT_CACHE)
     every = iter_python_files(args.paths)
     project = load_project(every, cache, module_name_for,
-                           need_flow=args.flow)
+                           need_flow=args.flow, jobs=args.jobs)
     cache.save()
 
     changed_keys = {os.path.abspath(p) for p in changed}
@@ -169,12 +192,16 @@ def _changed_run(args: argparse.Namespace,
         for entry in project.values() if entry[0] not in live
     }
     return lint_sources(sources, baseline=baseline, flow=args.flow,
-                        project=context)
+                        project=context, atomic=args.atomic,
+                        jobs=args.jobs)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = _build_parser()
     args = parser.parse_args(argv)
+    if args.atomic:
+        # The RA rules are built on the flow call graph.
+        args.flow = True
 
     if args.explain is not None:
         return _explain(args.explain)
@@ -201,7 +228,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"repro-lint: no such file or directory: {exc}",
                   file=sys.stderr)
             return 2
-        findings = run_rules(sources, flow=args.flow)
+        findings = run_rules(sources, flow=args.flow, atomic=args.atomic,
+                             jobs=args.jobs)
         by_path = {source.path: source for source in sources}
         kept = [f for f in findings
                 if not (by_path.get(f.path) or _NEVER).is_suppressed(f)]
@@ -223,15 +251,23 @@ def main(argv: Optional[List[str]] = None) -> int:
             result = _changed_run(args, baseline)
         else:
             sources = load_sources(args.paths)
-            result = lint_sources(sources, baseline=baseline, flow=args.flow)
+            result = lint_sources(sources, baseline=baseline, flow=args.flow,
+                                  atomic=args.atomic, jobs=args.jobs)
     except FileNotFoundError as exc:
         print(f"repro-lint: no such file or directory: {exc}",
               file=sys.stderr)
         return 2
 
     if args.as_json:
+        findings = []
+        for finding in result.findings:
+            entry = finding.to_dict()
+            entry["family"] = _family(finding.rule)
+            findings.append(entry)
         payload = {
-            "findings": [finding.to_dict() for finding in result.findings],
+            "schema": JSON_SCHEMA,
+            "analyzer": ANALYZER_VERSION,
+            "findings": findings,
             "files_checked": result.files_checked,
             "baselined": result.baselined,
             "suppressed": result.suppressed,

@@ -27,6 +27,7 @@ import re
 import tokenize
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
+from repro.lint.atomic import ATOMIC_RULES
 from repro.lint.baseline import Baseline
 from repro.lint.flow.analysis import FlowAnalysis
 from repro.lint.flow.rules import FLOW_RULES
@@ -207,16 +208,25 @@ def load_sources(paths: Sequence[str],
 def run_rules(sources: Sequence[SourceModule],
               rules: Optional[Sequence[Rule]] = None,
               flow: bool = False,
-              project: Optional[ProjectContext] = None) -> List[Finding]:
+              project: Optional[ProjectContext] = None,
+              atomic: bool = False,
+              jobs: int = 1) -> List[Finding]:
     """Raw findings (suppressions applied, no baseline).
 
-    ``flow`` enables the interprocedural RF rules; ``project`` supplies
+    ``flow`` enables the interprocedural RF rules and ``atomic`` (which
+    requires ``flow``) the yield-point RA rules; ``project`` supplies
     pre-built summaries of modules that should join the index (and the
     call graph) without being linted themselves -- the unchanged half of
-    a ``--changed`` run, loaded from the cache.
+    a ``--changed`` run, loaded from the cache.  ``jobs`` > 1 runs the
+    flow-extraction phase in worker processes.
     """
-    active_rules = list(rules) if rules is not None else (
-        ALL_RULES + FLOW_RULES if flow else ALL_RULES)
+    if rules is not None:
+        active_rules = list(rules)
+    elif flow:
+        active_rules = ALL_RULES + FLOW_RULES + \
+            (ATOMIC_RULES if atomic else [])
+    else:
+        active_rules = list(ALL_RULES)
     summaries: Dict[str, ModuleSummary] = {}
     flows: Dict[str, ModuleFlow] = {}
     if project:
@@ -229,11 +239,24 @@ def run_rules(sources: Sequence[SourceModule],
             summaries[source.module] = ModuleSummary(source.module, source.tree)
     index = ProjectIndex(summaries)
     if flow:
-        for source in sources:
-            if source.tree is not None and not source.skip_file:
+        live = [source for source in sources
+                if source.tree is not None and not source.skip_file]
+        extracted: Dict[str, object] = {}
+        if jobs > 1 and len(live) > 2:
+            from repro.lint.parallel import extract_flows
+            for path, (_summary, flow_data) in extract_flows(
+                    [(s.path, s.module, s.text) for s in live],
+                    jobs).items():
+                if flow_data is not None:
+                    extracted[path] = flow_data
+        for source in live:
+            flow_data = extracted.get(source.path)
+            if flow_data is not None:
+                flows[source.module] = ModuleFlow.from_dict(flow_data)  # type: ignore[arg-type]
+            else:
                 flows[source.module] = extract_module_flow(
                     summaries[source.module], source.tree)
-        index.flow = FlowAnalysis(index, flows)
+        index.flow = FlowAnalysis(index, flows, atomic=atomic)
 
     findings: List[Finding] = []
     for source in sources:
@@ -263,8 +286,11 @@ def lint_sources(sources: Sequence[SourceModule],
                  rules: Optional[Sequence[Rule]] = None,
                  baseline: Optional["Baseline"] = None,
                  flow: bool = False,
-                 project: Optional[ProjectContext] = None) -> LintResult:
-    raw = run_rules(sources, rules, flow=flow, project=project)
+                 project: Optional[ProjectContext] = None,
+                 atomic: bool = False,
+                 jobs: int = 1) -> LintResult:
+    raw = run_rules(sources, rules, flow=flow, project=project,
+                    atomic=atomic, jobs=jobs)
     by_path = {source.path: source for source in sources}
     kept: List[Finding] = []
     suppressed = 0
@@ -287,16 +313,20 @@ def lint_paths(paths: Sequence[str],
                baseline: Optional["Baseline"] = None,
                relative_to: Optional[str] = None,
                flow: bool = False,
-               project: Optional[ProjectContext] = None) -> LintResult:
+               project: Optional[ProjectContext] = None,
+               atomic: bool = False,
+               jobs: int = 1) -> LintResult:
     return lint_sources(load_sources(paths, relative_to), rules, baseline,
-                        flow=flow, project=project)
+                        flow=flow, project=project, atomic=atomic,
+                        jobs=jobs)
 
 
 def lint_source(text: str, module: str = "repro.example",
                 path: str = "<memory>",
                 rules: Optional[Sequence[Rule]] = None,
                 extra_sources: Iterable[SourceModule] = (),
-                flow: bool = False) -> List[Finding]:
+                flow: bool = False,
+                atomic: bool = False) -> List[Finding]:
     """Lint one in-memory snippet (test/fixture entry point).
 
     ``module`` controls package-scoped rules (RL003 fires only under the
@@ -304,4 +334,5 @@ def lint_source(text: str, module: str = "repro.example",
     into the same project index (cross-module resolution tests).
     """
     sources = [SourceModule(path, module, text)] + list(extra_sources)
-    return lint_sources(sources, rules=rules, flow=flow).findings
+    return lint_sources(sources, rules=rules, flow=flow,
+                        atomic=atomic).findings

@@ -9,11 +9,14 @@ design and the rule catalog.
 """
 
 from repro.lint.flow.analysis import FlowAnalysis
+from repro.lint.flow.atomic import ANALYZER_VERSION, AtomicAnalysis
 from repro.lint.flow.callgraph import CallGraph, Node
 from repro.lint.flow.rules import FLOW_RULES, FLOW_RULES_BY_CODE
 from repro.lint.flow.summary import ModuleFlow, extract_module_flow
 
 __all__ = [
+    "ANALYZER_VERSION",
+    "AtomicAnalysis",
     "CallGraph",
     "FLOW_RULES",
     "FLOW_RULES_BY_CODE",

@@ -21,7 +21,10 @@ Four classifications drive the RF rules:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.lint.flow.atomic import AtomicAnalysis
 
 from repro.lint.flow.callgraph import CallGraph, Node
 from repro.lint.flow.summary import ModuleFlow, PROTOCOL_MUTATORS
@@ -58,10 +61,18 @@ def format_node(node: Node) -> str:
 class FlowAnalysis:
     """Project-wide flow facts, computed once per ``--flow`` run."""
 
-    def __init__(self, index: ProjectIndex, flows: Dict[str, ModuleFlow]) -> None:
+    def __init__(self, index: ProjectIndex, flows: Dict[str, ModuleFlow],
+                 atomic: bool = False) -> None:
         self.index = index
         self.flows = flows
         self.graph = CallGraph(index, flows)
+        #: Set under ``--atomic``: the yield-point interleaving and
+        #: typestate analysis the RA rules consume (imported lazily to
+        #: keep plain ``--flow`` runs free of the extra fixpoints).
+        self.atomic: Optional["AtomicAnalysis"] = None
+        if atomic:
+            from repro.lint.flow.atomic import AtomicAnalysis
+            self.atomic = AtomicAnalysis(self.graph)
         self.sim_parents = self._compute_sim_reach()
         self.hot_parents = self.graph.reachable_from(set(HOT_PATH_ROOTS))
         self.routable_exact, self.ladder_bases = \

@@ -23,7 +23,7 @@ approximation, same scheme the pass-1 index uses within one module).
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Set, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.lint.index import ModuleSummary, ProjectIndex, Symbol
 from repro.lint.flow.summary import ModuleFlow
@@ -257,9 +257,12 @@ class CallGraph:
 
     def _resolve_call(self, module: str, qualname: str,
                       info: Dict[str, Any],
-                      desc: Dict[str, Any]) -> List[Node]:
+                      desc: Dict[str, Any],
+                      record_external: bool = True) -> List[Node]:
         """Targets of one recorded call; external symbols are logged to
-        ``self.external`` as a side effect."""
+        ``self.external`` as a side effect (unless ``record_external``
+        is off -- re-resolution by later analyses must not duplicate
+        the external log)."""
         node = (module, qualname)
         line = desc.get("line", 0)
         kind = desc.get("k")
@@ -282,7 +285,8 @@ class CallGraph:
             target = self._resolve_symbol_target(symbol)
             if target is not None:
                 return [target]
-            self.external.setdefault(node, []).append((symbol, line))
+            if record_external:
+                self.external.setdefault(node, []).append((symbol, line))
             return []
         if kind == "attr":
             root, steps, attr = desc["root"], desc["steps"], desc["attr"]
@@ -299,8 +303,9 @@ class CallGraph:
                     target = self._resolve_symbol_target(symbol)
                     if target is not None:
                         return [target]
-                    self.external.setdefault(node, []).append(
-                        (symbol, line))
+                    if record_external:
+                        self.external.setdefault(node, []).append(
+                            (symbol, line))
             return []
         if kind == "table":
             table_sym = self._resolve_ref(module, desc.get("table"))
@@ -363,6 +368,30 @@ class CallGraph:
                             (entry.get("line", 0), symbol))
 
     # -- queries -----------------------------------------------------------
+
+    def eval_chain(self, module: str, info: Dict[str, Any], root: str,
+                   steps: Sequence[str]) -> Optional[_TypeEntry]:
+        """Public type evaluation of ``root.step1.step2...`` inside one
+        function (same evidence rules as call linking)."""
+        return self._eval_chain(module, info, root, list(steps), 0)
+
+    def eval_name(self, module: str, info: Dict[str, Any],
+                  name: str) -> Optional[_TypeEntry]:
+        """Public type evaluation of a bare name inside one function."""
+        return self._eval_name(module, info, name, 0)
+
+    def entry_from_info(self, module: str,
+                        info: Dict[str, Any]) -> _TypeEntry:
+        """Public annotation/attr-type record evaluation."""
+        return self._entry_from_info(module, info)
+
+    def resolve_call_quiet(self, module: str, qualname: str,
+                           info: Dict[str, Any],
+                           desc: Dict[str, Any]) -> List[Node]:
+        """Re-resolve one call descriptor without logging externals
+        (the atomic analysis re-walks calls the linker already saw)."""
+        return self._resolve_call(module, qualname, info, desc,
+                                  record_external=False)
 
     def function_info(self, node: Node) -> Optional[Dict[str, Any]]:
         flow = self.flows.get(node[0])

@@ -31,6 +31,12 @@ from repro.lint.index import (
 )
 from repro.lint.rules import WALL_CLOCK_ATTRS
 
+#: Version stamp of the extraction format.  Bumped whenever the shape of
+#: the serialized per-function info changes (new keys, changed meaning),
+#: so ``repro-lint --changed`` invalidates warm caches instead of
+#: feeding old summaries to a newer analyzer (see repro.lint.cache).
+EXTRACTION_SCHEMA = 3
+
 #: Kernel Delay symbols (RF005 per-call allocation facts).
 _DELAY_SYMBOLS = frozenset({
     ("repro.sim.kernel", "Delay"),
@@ -59,6 +65,15 @@ PROTOCOL_MUTATORS = frozenset({
     "append", "set_status", "recover", "invalidate", "note_applied",
 })
 _PROTOCOL_MUTATORS = PROTOCOL_MUTATORS
+
+#: Method names that structurally mutate their receiver.  Superset of
+#: PROTOCOL_MUTATORS: the atomic analysis also cares about plain
+#: container mutators on shared attributes (``self.completed.pop(...)``).
+ATOMIC_MUTATORS = PROTOCOL_MUTATORS | frozenset({
+    "mark_completed", "pop", "popitem", "add", "discard", "remove",
+    "clear", "extend", "setdefault", "move_to_end", "appendleft",
+    "popleft",
+})
 
 #: Receiver names that bind repro.obs instrumentation (RF004).
 _OBS_RECEIVERS = frozenset({"obs", "tracer", "registry"})
@@ -197,19 +212,59 @@ class _FunctionExtractor(ast.NodeVisitor):
             "yields": [],
             "spawns": [],
             "facts": {},
+            "pnames": [],
+            "touch": [],
+            "ylines": {},
         }
         self._loop_depth = 0
         self._yf_calls: set = set()
+        #: Lexical yield-segment counter: 0 before the first preemption
+        #: point, +1 after every ``yield``/``yield from``.  Serialized
+        #: touch records carry the segment they happened in so the
+        #: atomic analysis can build yield-point summaries from cache.
+        self._seg = 0
+        self._touch_seen: set = set()
         args = getattr(node, "args", None)
         if args is not None:
             every = list(getattr(args, "posonlyargs", [])) + \
                 list(args.args) + list(args.kwonlyargs)
+            self.info["pnames"] = [arg.arg for arg in every]
             for arg in every:
                 info = _ann_info(arg.annotation)
                 if info:
                     self.info["params"][arg.arg] = info
         for child in getattr(node, "body", []):
             self.visit(child)
+
+    _TOUCH_CAP = 160
+
+    def _touch(self, root: str, steps: List[str], attr: str, kind: str,
+               line: int) -> None:
+        """Record one shared-state touch: a read (``r``) or write
+        (``set``/``aug``/``sub``/``del``/``call``) through an attribute
+        chain, tagged with the yield segment it happens in."""
+        key = (root, tuple(steps), attr, kind, self._seg)
+        if key in self._touch_seen or \
+                len(self.info["touch"]) >= self._TOUCH_CAP:
+            return
+        self._touch_seen.add(key)
+        self.info["touch"].append({
+            "c": [root] + list(steps), "a": attr, "k": kind,
+            "s": self._seg, "ln": line,
+        })
+
+    def _touch_target(self, target: ast.expr, line: int,
+                      kind: str = "set") -> None:
+        while isinstance(target, ast.Subscript):
+            target = target.value
+            if kind == "set":
+                kind = "sub"
+        if not isinstance(target, ast.Attribute):
+            return
+        flattened = _receiver_steps(target.value)
+        if flattened is not None:
+            root, steps = flattened
+            self._touch(root, steps, target.attr, kind, line)
 
     # -- bookkeeping -------------------------------------------------------
 
@@ -262,9 +317,10 @@ class _FunctionExtractor(ast.NodeVisitor):
         if len(node.targets) == 1 and isinstance(node.targets[0], ast.Name):
             self._bind(node.targets[0].id, _value_desc(node.value))
         self._check_mutation_target(node, node.targets)
+        self.visit(node.value)  # value first: yields bump the segment
         for target in node.targets:
+            self._touch_target(target, node.lineno)
             self.visit(target)
-        self.visit(node.value)
 
     def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
         if isinstance(node.target, ast.Name):
@@ -276,10 +332,17 @@ class _FunctionExtractor(ast.NodeVisitor):
         self._check_mutation_target(node, [node.target])
         if node.value is not None:
             self.visit(node.value)
+        self._touch_target(node.target, node.lineno)
 
     def visit_AugAssign(self, node: ast.AugAssign) -> None:
         self._check_mutation_target(node, [node.target])
         self.visit(node.value)
+        self._touch_target(node.target, node.lineno, kind="aug")
+
+    def visit_Delete(self, node: ast.Delete) -> None:
+        for target in node.targets:
+            self._touch_target(target, node.lineno, kind="del")
+        self.generic_visit(node)
 
     def _check_mutation_target(self, node: ast.stmt,
                                targets: List[ast.expr]) -> None:
@@ -321,12 +384,16 @@ class _FunctionExtractor(ast.NodeVisitor):
                     self._fact("const_delay", node.lineno,
                                f"Delay({value.args[0].value!r})")
         if value is not None:
-            self.visit(value)
+            self.visit(value)  # arguments are evaluated pre-yield
+        self._seg += 1
+        self.info["ylines"][str(self._seg)] = node.lineno
 
     def visit_YieldFrom(self, node: ast.YieldFrom) -> None:
         if isinstance(node.value, ast.Call):
             self._yf_calls.add(id(node.value))
         self.visit(node.value)
+        self._seg += 1
+        self.info["ylines"][str(self._seg)] = node.lineno
 
     # -- calls and facts ---------------------------------------------------
 
@@ -341,6 +408,17 @@ class _FunctionExtractor(ast.NodeVisitor):
         self._check_isinstance(node)
         self.generic_visit(node)
 
+    @staticmethod
+    def _arg_names(node: ast.Call) -> Optional[List[Optional[str]]]:
+        """Bare names of the positional arguments (None placeholders for
+        expressions), recorded so typestate summaries can map caller
+        locals onto callee parameters.  None when no argument is a name."""
+        names: List[Optional[str]] = [
+            arg.id if isinstance(arg, ast.Name) else None
+            for arg in node.args
+        ]
+        return names if any(n is not None for n in names) else None
+
     def _call_desc(self, node: ast.Call) -> Optional[Dict[str, Any]]:
         func = node.func
         if isinstance(func, ast.Name):
@@ -350,7 +428,12 @@ class _FunctionExtractor(ast.NodeVisitor):
                     and symbol[1] in WALL_CLOCK_ATTRS):
                 self._fact("wall_clock", node.lineno, f"time.{symbol[1]}")
                 return None
-            return {"k": "name", "fn": func.id, "line": node.lineno}
+            desc: Dict[str, Any] = {"k": "name", "fn": func.id,
+                                    "line": node.lineno}
+            args = self._arg_names(node)
+            if args is not None:
+                desc["args"] = args
+            return desc
         if isinstance(func, ast.Attribute):
             flattened = _receiver_steps(func.value)
             if flattened is None:
@@ -364,8 +447,17 @@ class _FunctionExtractor(ast.NodeVisitor):
                     and func.attr in _PROTOCOL_MUTATORS):
                 self._fact("mutates", node.lineno,
                            f"calls `{final}.{func.attr}(...)`")
-            return {"k": "attr", "root": root, "steps": steps,
+            if func.attr in ATOMIC_MUTATORS and steps and steps[-1] != "[]":
+                # `self.completed.mark_completed(tid)` structurally
+                # mutates the `completed` attribute of `self`.
+                self._touch(root, steps[:-1], steps[-1], "call",
+                            node.lineno)
+            desc = {"k": "attr", "root": root, "steps": steps,
                     "attr": func.attr, "line": node.lineno}
+            args = self._arg_names(node)
+            if args is not None:
+                desc["args"] = args
+            return desc
         if isinstance(func, ast.Subscript):
             table = name_ref_of(func.value)
             if table is not None:
@@ -419,6 +511,11 @@ class _FunctionExtractor(ast.NodeVisitor):
                 and isinstance(node.value, ast.Name)
                 and self.summary.resolve_qualifier(node.value.id) == "time"):
             self._fact("wall_clock", node.lineno, f"time.{node.attr}")
+        if isinstance(node.ctx, ast.Load):
+            flattened = _receiver_steps(node.value)
+            if flattened is not None:
+                root, steps = flattened
+                self._touch(root, steps, node.attr, "r", node.lineno)
         self.generic_visit(node)
 
     def visit_List(self, node: ast.List) -> None:

@@ -1,0 +1,71 @@
+"""Multiprocess flow extraction (``repro-lint --jobs N``).
+
+Phase 1 of a ``--flow`` run -- parsing every module and extracting its
+:class:`~repro.lint.flow.summary.ModuleFlow` -- is embarrassingly
+parallel and dominates wall clock on the grown tree.  Workers receive
+``(path, module, text)`` triples, parse and extract independently, and
+return the *serialized* summary/flow dicts; the parent rebuilds them via
+the same ``from_dict`` round-trip the on-disk cache uses, so a parallel
+run and a warm-cache run produce byte-identical analysis inputs.
+
+Phases 2+ (the call-graph fixpoints and rule evaluation) stay in the
+parent: they are cheap relative to extraction and need the whole
+project index at once.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import Any, Dict, List, Tuple
+
+#: (display path, dotted module, source text) -> worker input.
+ExtractItem = Tuple[str, str, str]
+#: (display path, serialized summary, serialized flow); summary/flow are
+#: None when the source does not parse (the parent re-reports RL000).
+ExtractResult = Tuple[str, Any, Any]
+
+
+def _extract_one(item: ExtractItem) -> ExtractResult:
+    """Worker: parse + summarize + extract one module, return dicts."""
+    import ast
+
+    from repro.lint.flow.summary import extract_module_flow
+    from repro.lint.index import ModuleSummary
+
+    path, module, text = item
+    try:
+        tree = ast.parse(text)
+    except SyntaxError:
+        return path, None, None
+    summary = ModuleSummary(module, tree)
+    flow = extract_module_flow(summary, tree)
+    return path, summary.to_dict(), flow.to_dict()
+
+
+def extract_flows(items: List[ExtractItem],
+                  jobs: int) -> Dict[str, Tuple[Any, Any]]:
+    """Extract flows for ``items`` with ``jobs`` worker processes.
+
+    Returns ``{path: (summary_dict, flow_dict)}``; failed parses map to
+    ``(None, None)``.  Falls back to in-process extraction when ``jobs``
+    <= 1, the item list is tiny, the host has a single core (pool
+    overhead is pure loss there), or the platform cannot fork workers --
+    output is identical either way.
+    """
+    results: Dict[str, Tuple[Any, Any]] = {}
+    jobs = min(jobs, os.cpu_count() or 1)
+    if jobs > 1 and len(items) > 2:
+        try:
+            with multiprocessing.Pool(processes=jobs) as pool:
+                for path, summary, flow in pool.map(
+                        _extract_one, items,
+                        chunksize=max(1, len(items) // (jobs * 4))):
+                    results[path] = (summary, flow)
+            return results
+        except (OSError, ValueError):
+            results.clear()
+    for item in items:
+        path, summary, flow = _extract_one(item)
+        results[path] = (summary, flow)
+    return results
