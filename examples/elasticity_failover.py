@@ -42,10 +42,15 @@ def _run(db) -> None:
     print("detaching one again (soft state only, nothing to migrate)")
     db.remove_processing_node(extra_sessions[-1].pn.pn_id)
 
-    # --- storage elasticity ------------------------------------------------------
-    node = db.cluster.add_node()
-    print(f"\nattached storage node {node.node_id} "
-          f"({len(db.cluster.nodes)} SNs total)")
+    # --- storage elasticity (the db.admin() surface) -----------------------------
+    with db.admin() as admin:
+        node_id = admin.add_storage_node()     # attach + rebalance
+        view = admin.topology()
+        print(f"\nattached storage node {node_id} "
+              f"({len(view['nodes'])} SNs total, epoch {view['epoch']}, "
+              f"balanced={view['balanced']})")
+        moved = admin.stats.partitions_moved
+        print(f"  rebalance migrated {moved} partition(s) live")
 
     # --- storage node failure ----------------------------------------------------
     victim = 0

@@ -22,7 +22,12 @@ def __getattr__(name):
         from repro.api.database import connect
 
         return connect
+    if name == "ClusterAdmin":
+        from repro.api.admin import ClusterAdmin
+
+        return ClusterAdmin
     raise AttributeError(name)
 
 
-__all__ = ["Database", "DatabaseConfig", "DirectRunner", "Router", "connect"]
+__all__ = ["ClusterAdmin", "Database", "DatabaseConfig", "DirectRunner",
+           "Router", "connect"]

@@ -1,0 +1,155 @@
+"""The first-class cluster-administration surface: ``db.admin()``.
+
+:class:`ClusterAdmin` is the supported way to change a running
+deployment's shape -- storage scale-out/in with partition rebalancing,
+processing-pool grow/shrink, and topology introspection::
+
+    with repro.connect(storage_nodes=4) as db:
+        with db.admin() as admin:
+            admin.add_storage_node()          # attach + rebalance
+            admin.remove_storage_node(2)      # drain + detach
+            view = admin.topology()           # epoch, ownership map
+            admin.wait_balanced()
+
+Every mutation goes through the versioned :class:`repro.elastic.Topology`
+layer (epoch bumps, handoff lifecycle) and the bounded-batch migration
+protocol, so the embedded path exercises exactly the state machine the
+simulated elastic coordinator drives under live load.  Direct mutation
+of :class:`~repro.store.cluster.StorageCluster` (the old
+``cluster.add_node()``) is deprecated and warns.
+
+Leaving the ``with`` block verifies nothing leaked: no handoff residue,
+hosting consistent with assignment, and -- because migrations never open
+transactions -- the commit managers' pins unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.elastic.migration import (capture_pins, assert_migration_clean,
+                                     run_moves_direct, MigrationStats)
+from repro.errors import InvalidState
+
+
+class ClusterAdmin:
+    """Administrative handle on one :class:`repro.api.Database`."""
+
+    def __init__(self, db: Any):
+        self._db = db
+        self.stats = MigrationStats()
+        self._pins = capture_pins(db.commit_managers)
+
+    # -- context management -------------------------------------------------
+
+    def __enter__(self) -> "ClusterAdmin":
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        if exc_type is None:
+            self.verify()
+
+    def verify(self) -> None:
+        """Assert the topology leaked nothing (run on clean ``with`` exit)."""
+        assert_migration_clean(
+            self._db.cluster, self._db.commit_managers, self._pins
+        )
+
+    # -- storage elasticity -------------------------------------------------
+
+    def add_storage_node(self, rebalance: bool = True,
+                         capacity_bytes: Optional[int] = None) -> int:
+        """Attach a fresh storage node; by default migrate partitions onto
+        it until master counts are balanced.  Returns the new node id."""
+        cluster = self._db.cluster
+        node = cluster.create_node(capacity_bytes)
+        if rebalance:
+            run_moves_direct(
+                cluster, cluster.topology.plan_rebalance(), stats=self.stats
+            )
+        return node.node_id
+
+    def remove_storage_node(self, node_id: int, drain: bool = True) -> None:
+        """Retire a storage node.
+
+        ``drain=True`` migrates every hosted partition to the remaining
+        nodes first (no data loss at any replication factor).
+        ``drain=False`` models a hard removal through the management
+        node's fail-over path -- under RF1 that loses the node's data,
+        exactly like a crash.
+        """
+        cluster = self._db.cluster
+        if node_id not in cluster.nodes:
+            raise InvalidState(f"no storage node {node_id}")
+        if drain:
+            run_moves_direct(
+                cluster, cluster.topology.plan_drain(node_id),
+                stats=self.stats,
+            )
+        else:
+            self._db.management.handle_node_failure(node_id)
+        cluster.detach_node(node_id)
+
+    def rebalance(self) -> int:
+        """Even out master placement; returns the number of moves run."""
+        cluster = self._db.cluster
+        moves = cluster.topology.plan_rebalance()
+        run_moves_direct(cluster, moves, stats=self.stats)
+        return len(moves)
+
+    def wait_balanced(self) -> None:
+        """Block until the topology is balanced (embedded mode: migrations
+        are synchronous, so at most one rebalance round is needed)."""
+        topology = self._db.cluster.topology
+        if not topology.is_balanced():
+            self.rebalance()
+        if not topology.is_balanced():
+            raise InvalidState(
+                "topology failed to balance: "
+                f"master counts {topology.master_counts()!r}"
+            )
+
+    # -- processing elasticity ----------------------------------------------
+
+    def grow_pns(self, n: int = 1) -> List[int]:
+        """Attach ``n`` processing nodes (no data movement)."""
+        if n < 1:
+            raise InvalidState("grow_pns needs n >= 1")
+        return [self._db.add_processing_node().pn_id for _ in range(n)]
+
+    def shrink_pns(self, n: int = 1) -> List[int]:
+        """Detach the ``n`` highest-numbered PNs, rolling back anything
+        they left in flight (the PN-crash recovery path).  Returns the
+        rolled-back transaction ids."""
+        pn_ids = sorted(self._db.processing_nodes)
+        if n < 1 or n > len(pn_ids):
+            raise InvalidState(
+                f"cannot shrink {n} of {len(pn_ids)} processing node(s)"
+            )
+        rolled_back: List[int] = []
+        for pn_id in reversed(pn_ids[-n:]):
+            rolled_back.extend(self._db.crash_processing_node(pn_id))
+        return rolled_back
+
+    # -- introspection ------------------------------------------------------
+
+    def topology(self) -> Dict[str, Any]:
+        """A point-in-time view of the versioned topology."""
+        topo = self._db.cluster.topology
+        return {
+            "epoch": topo.epoch,
+            "placement": topo.placement.kind,
+            "n_partitions": topo.n_partitions,
+            "nodes": topo.node_ids(),
+            "ownership": topo.ownership(),
+            "master_counts": topo.master_counts(),
+            "migrations_in_flight": topo.migrations_in_flight(),
+            "balanced": topo.is_balanced(),
+            "epoch_log": list(topo.epoch_log),
+        }
+
+    def __repr__(self) -> str:
+        topo = self._db.cluster.topology
+        return (f"<ClusterAdmin epoch={topo.epoch} "
+                f"nodes={len(topo.node_ids())} "
+                f"balanced={topo.is_balanced()}>")

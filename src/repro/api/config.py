@@ -43,6 +43,11 @@ class DatabaseConfig:
     #: "wsi" (write-snapshot isolation) or "ssi" (serializable SI).  See
     #: ``docs/isolation.md`` and :mod:`repro.core.isolation`.
     isolation: str = "si"
+    #: Partition placement: "hash" (modulo, the paper's layout) or
+    #: "range" (contiguous hash-space slices), optionally with a
+    #: virtual-node count ("hash:16" = 16 partitions per node).  See
+    #: :class:`repro.elastic.PlacementSpec` and ``docs/elasticity.md``.
+    placement: str = "hash"
 
     def __post_init__(self) -> None:
         if self.commit_managers < 1:
@@ -78,6 +83,9 @@ class DatabaseConfig:
                 raise InvalidState(
                     f"malformed sbvs unit size in {self.buffering!r}"
                 ) from None
+        from repro.elastic.topology import PlacementSpec
+
+        PlacementSpec.parse(self.placement)  # raises InvalidState when bad
 
     def with_(self, **changes: object) -> "DatabaseConfig":
         """A modified copy (validation runs again)."""

@@ -56,6 +56,7 @@ class Database:
             n_nodes=config.storage_nodes,
             replication_factor=config.replication_factor,
             partitions_per_node=config.partitions_per_node,
+            placement=config.placement,
         )
         self.management = ManagementNode(self.cluster)
         self.protocol = make_protocol(config.isolation)
@@ -89,6 +90,7 @@ class Database:
         collect.watch_storage_cluster(hub.registry, self.cluster)
         for manager in self.commit_managers:
             collect.watch_commit_manager(hub.registry, manager)
+        collect.watch_topology(hub.registry, self.cluster.topology)
         return hub
 
     # -- lifecycle ----------------------------------------------------------------------
@@ -114,6 +116,20 @@ class Database:
 
     def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
         self.close()
+
+    # -- cluster administration -------------------------------------------------
+
+    def admin(self) -> "ClusterAdmin":
+        """The cluster-administration surface (see
+        :class:`repro.api.admin.ClusterAdmin`): storage scale-out/in with
+        partition rebalancing, PN pool grow/shrink, topology inspection.
+        Context-managed; leaving the block verifies no migration residue
+        or transaction pin leaked."""
+        if self._closed:
+            raise InvalidState("database is closed")
+        from repro.api.admin import ClusterAdmin
+
+        return ClusterAdmin(self)
 
     # -- processing layer elasticity -------------------------------------------------
 

@@ -187,11 +187,13 @@ def main(argv=None) -> int:
                         help=f"one or more of: {', '.join(EXPERIMENTS)}")
     parser.add_argument("--list", action="store_true",
                         help="list available experiments")
-    parser.add_argument("--suite", choices=("scale", "isolation"),
+    parser.add_argument("--suite", choices=("scale", "isolation", "elastic"),
                         help="run a benchmark suite instead of the paper "
                              "experiments (scale: 16/64/128-node + "
                              "100-warehouse deployments; isolation: the "
-                             "same skew workload under SI/WSI/SSI; both "
+                             "same skew workload under SI/WSI/SSI; "
+                             "elastic: live SN double/halve cycles with "
+                             "before/during/after throughput; all "
                              "appended to the perf report)")
     parser.add_argument("--smoke", action="store_true",
                         help="with --suite: run only the smoke-sized "
@@ -243,6 +245,20 @@ def main(argv=None) -> int:
         if args.report != "-":
             merge_isolation_report(args.report, rows)
             print(f"[isolation rows merged into {args.report}]")
+        return 0
+
+    if args.suite == "elastic":
+        from repro.bench.elastic import (merge_elastic_report,
+                                         render_elastic_table,
+                                         run_elastic_suite)
+
+        if args.sanitize:
+            os.environ["REPRO_SANITIZE"] = "1"
+        points = run_elastic_suite(smoke=args.smoke)
+        print(render_elastic_table(points))
+        if args.report != "-":
+            merge_elastic_report(args.report, points)
+            print(f"[elastic points merged into {args.report}]")
         return 0
 
     if args.list or not args.experiments:

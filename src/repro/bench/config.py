@@ -43,6 +43,9 @@ class TellConfig:
     #: the paper's protocol and keeps the simulation byte-identical to
     #: the historical driver.
     isolation: str = "si"
+    #: Partition placement: "hash" | "range", optionally ":<virtual-node
+    #: count>" ("hash:16").  See repro.elastic.PlacementSpec.
+    placement: str = "hash"
 
     # CPU cost model
     cpu_per_row_us: float = 10.0     # query processing work per row touched

@@ -49,7 +49,7 @@ from repro.dispatch import (
     kind_of,
     kind_table,
 )
-from repro.errors import TellError, TransactionAborted
+from repro.errors import TellError, TransactionAborted, WrongOwner
 from repro.net.profiles import NetworkProfile, profile_by_name
 from repro.sim.kernel import Delay, Simulator, delay_of
 from repro.sql.table import IndexManager
@@ -165,6 +165,19 @@ class SimFabric:
         #: timestamp; a flush callback drains each group as one message.
         self.coalescing = getattr(config, "coalescing", False)
         self._pending: Dict[Tuple[Any, int], List[Tuple[Any, int, Any]]] = {}
+        #: Set by the elastic coordinator when live topology change is in
+        #: play.  Arms the apply-time ownership guard in
+        #: :meth:`_send_group`: a request that was routed before a
+        #: migration promoted a new master must fail with
+        #: :class:`~repro.errors.WrongOwner` *before any state mutation*
+        #: (the redirect interceptor then re-routes it).  False on the
+        #: static path -- the guard costs nothing when elasticity is off.
+        self.elastic_active = False
+
+    def register_node(self, node_id: int) -> None:
+        """Give a freshly attached storage node its simulated core pool."""
+        if node_id not in self.sn_pools:
+            self.sn_pools[node_id] = CorePool(self.config.sn_cores)
 
     # -- top-level dispatch ------------------------------------------------------
 
@@ -432,6 +445,25 @@ class SimFabric:
 
         def apply() -> None:
             try:
+                if self.elastic_active:
+                    # Ownership may have changed between routing (send
+                    # time) and service (now).  Reject the whole message
+                    # BEFORE applying anything: a write landing on a
+                    # demoted master would be silently lost by the next
+                    # migration batch, and a half-applied group could not
+                    # be retried.  The epoch rides the error so the
+                    # redirect interceptor can report staleness.
+                    assignments = cluster.partition_map.assignments
+                    for _pos, op, pid in members:
+                        if node_id not in assignments[pid].replicas:
+                            raise WrongOwner(
+                                pid, node_id, cluster.topology.epoch
+                            )
+                    for op, pid in writes:
+                        if assignments[pid].replicas[0] != node_id:
+                            raise WrongOwner(
+                                pid, node_id, cluster.topology.epoch
+                            )
                 values = []
                 for _pos, op, pid in members:
                     value, _size = cluster.apply(op, pid, node_id)
@@ -568,6 +600,7 @@ class SimulatedTell:
             n_nodes=config.storage_nodes,
             replication_factor=config.replication_factor,
             partitions_per_node=config.partitions_per_node,
+            placement=getattr(config, "placement", "hash"),
         )
         from repro.core.isolation import make_protocol, make_validator
 
@@ -597,13 +630,15 @@ class SimulatedTell:
             from repro.obs import Observability
             from repro.obs.collect import (watch_commit_manager,
                                            watch_fabric,
-                                           watch_storage_cluster)
+                                           watch_storage_cluster,
+                                           watch_topology)
 
             self.obs = Observability(clock=lambda: self.sim.now)
             watch_storage_cluster(self.obs.registry, self.cluster)
             for manager in self.commit_managers:
                 watch_commit_manager(self.obs.registry, manager)
             watch_fabric(self.obs.registry, self.fabric.stats)
+            watch_topology(self.obs.registry, self.cluster.topology)
         self.interceptors = list(interceptors)
         self.sanitizer_log = None
         from repro.san import sanitizers_enabled
@@ -613,6 +648,13 @@ class SimulatedTell:
             self.sanitizer_log, chain = make_sanitizers(isolation=isolation)
             self.interceptors.extend(chain)
         self._pn_handles: List[Tuple[ProcessingNode, CorePool, int, IndexManager]] = []
+        # Live PN pool state: terminals of a stopped PN exit their loop at
+        # the next transaction boundary (the flag check adds no simulated
+        # time, so the static path's digest is untouched).
+        self._pn_active: Dict[int, bool] = {}
+        self._pn_procs: Dict[int, List[Any]] = {}
+        self._warmup_end = min(config.warmup_us, config.duration_us)
+        self._end_time = config.duration_us
         self._populated = False
         if self.interceptors:
             attach_all(
@@ -665,19 +707,12 @@ class SimulatedTell:
         if not self._populated:
             self.load()
         config = self.config
-        end_time = config.duration_us
-        warmup_end = min(config.warmup_us, end_time)
+        end_time = self._end_time
+        warmup_end = self._warmup_end
         mix = MIXES[config.mix]
 
         for pn_id in range(config.processing_nodes):
-            handle = self._make_pn(pn_id)
-            self._pn_handles.append(handle)
-            for thread in range(config.threads_per_pn):
-                seed = (config.seed * 10_007 + pn_id * 131 + thread) & 0x7FFFFFFF
-                self.sim.spawn(
-                    self._terminal(handle, mix, seed, warmup_end, end_time),
-                    name=f"pn{pn_id}-t{thread}",
-                )
+            self._spawn_pn(pn_id, mix, warmup_end, end_time)
         if len(self.commit_managers) > 1:
             for manager in self.commit_managers:
                 self.sim.spawn(
@@ -696,6 +731,64 @@ class SimulatedTell:
             self.metrics.obs_snapshot = snapshot
             obs_module.emit(self._obs_label(), snapshot)
         return self.metrics
+
+    def _spawn_pn(self, pn_id: int, mix, warmup_end: float,  # noqa: ANN001
+                  end_time: float) -> Tuple[ProcessingNode, CorePool, int,
+                                            IndexManager]:
+        handle = self._make_pn(pn_id)
+        self._pn_handles.append(handle)
+        self._pn_active[pn_id] = True
+        procs = self._pn_procs.setdefault(pn_id, [])
+        for thread in range(self.config.threads_per_pn):
+            seed = (self.config.seed * 10_007 + pn_id * 131 + thread) & 0x7FFFFFFF
+            procs.append(self.sim.spawn(
+                self._terminal(handle, mix, seed, warmup_end, end_time),
+                name=f"pn{pn_id}-t{thread}",
+            ))
+        return handle
+
+    def start_pn(self) -> int:
+        """Attach a fresh processing node while the simulation runs.
+
+        The new PN's terminals enter the workload at the current
+        simulated instant with the same deterministic seed derivation the
+        initial pool uses, so a fixed seed reproduces the grown
+        deployment exactly.  Returns the new pn id.
+        """
+        pn_id = (
+            max(pn.pn_id for pn, _pool, _cm, _idx in self._pn_handles) + 1
+            if self._pn_handles else 0
+        )
+        self._spawn_pn(pn_id, MIXES[self.config.mix],
+                       self._warmup_end, self._end_time)
+        return pn_id
+
+    def stop_pn(self, pn_id: int) -> None:
+        """Retire a processing node: its terminals exit at the next
+        transaction boundary.  The caller (the elastic coordinator) then
+        drains and runs PN recovery to roll back anything in flight."""
+        self._pn_active[pn_id] = False
+
+    def pn_quiesced(self, pn_id: int) -> bool:
+        """True once every terminal of a stopped PN has actually exited.
+
+        A terminal only observes :meth:`stop_pn` at its next transaction
+        boundary, so a transaction in flight at stop time keeps running
+        for a while; recovery must not roll it back underneath it (the
+        sanitizers catch exactly that)."""
+        return all(proc.finished for proc in self._pn_procs.get(pn_id, ()))
+
+    def pn_handle(self, pn_id: int) -> Tuple[ProcessingNode, CorePool, int,
+                                             IndexManager]:
+        for handle in self._pn_handles:
+            if handle[0].pn_id == pn_id:
+                return handle
+        raise KeyError(f"no processing node {pn_id}")
+
+    def active_pn_ids(self) -> List[int]:
+        return sorted(
+            pn_id for pn_id, active in self._pn_active.items() if active
+        )
 
     def _obs_label(self) -> str:
         config = self.config
@@ -722,7 +815,9 @@ class SimulatedTell:
         )
         param_fns = {name: getattr(param_gen, name) for name in TRANSACTIONS}
         sim = self.sim
-        while sim.now < end_time:
+        active = self._pn_active
+        pn_id = pn.pn_id
+        while sim.now < end_time and active.get(pn_id, True):
             txn_name = mix.pick(rng)
             params = param_fns[txn_name]()
             started = self.sim.now

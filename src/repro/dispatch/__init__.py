@@ -40,6 +40,7 @@ from repro.dispatch.interceptors import (
     RetryPolicy,
     ScheduledFault,
     TraceInterceptor,
+    WrongOwnerRedirect,
     kill_storage_node,
     restart_storage_node,
 )
@@ -74,6 +75,7 @@ __all__ = [
     "FaultInjector",
     "CrashPoint",
     "RetryPolicy",
+    "WrongOwnerRedirect",
     "kill_storage_node",
     "restart_storage_node",
 ]

@@ -24,7 +24,7 @@ from repro.dispatch.core import (
     Interceptor,
     NextFn,
 )
-from repro.errors import NodeUnavailable
+from repro.errors import NodeUnavailable, WrongOwner
 
 TRACE_SCHEMA = "repro-dispatch-trace/1"
 
@@ -420,6 +420,47 @@ class RetryPolicy(Interceptor):
                     backoff *= self.multiplier
 
 
+class WrongOwnerRedirect(Interceptor):
+    """Re-route requests that hit a node whose partition migrated away.
+
+    During a live migration a request can be routed (send time) to a
+    node that is no longer the partition's owner by the time it is
+    served; the storage layer rejects it with
+    :class:`~repro.errors.WrongOwner` *before any state mutation*.  This
+    interceptor waits ``pause_us`` of simulated time (letting the
+    promotion's epoch settle) and re-issues the request down the tail of
+    the pipeline, which re-reads the partition map and therefore reaches
+    the new owner.
+
+    Must sit **innermost** in the chain (closest to the fabric) so that
+    outer middleware -- in particular the sanitizers -- observes one
+    logical request regardless of how many redirects it took.
+    ``max_redirects`` bounds pathological flapping; a redirect that keeps
+    failing surfaces the final :class:`WrongOwner` to the caller.
+    """
+
+    def __init__(self, max_redirects: int = 8, pause_us: float = 20.0) -> None:
+        if max_redirects < 1:
+            raise ValueError("max_redirects must be >= 1")
+        self.max_redirects = max_redirects
+        self.pause_us = pause_us
+        self.redirects = 0
+
+    def intercept(self, request: Any, ctx: DispatchContext,
+                  next: NextFn) -> Generator[Any, Any, Any]:
+        attempt = 0
+        while True:
+            try:
+                return (yield from next(request))
+            except WrongOwner:
+                if attempt >= self.max_redirects:
+                    raise
+                attempt += 1
+                self.redirects += 1
+                if self.pause_us > 0.0:
+                    yield _delay(self.pause_us)
+
+
 __all__ = [
     "TRACE_SCHEMA",
     "RequestTrace",
@@ -430,6 +471,7 @@ __all__ = [
     "FaultInjector",
     "CrashPoint",
     "RetryPolicy",
+    "WrongOwnerRedirect",
     "kill_storage_node",
     "restart_storage_node",
 ]

@@ -1,0 +1,291 @@
+"""Sim-timeline driver for live topology change.
+
+:class:`ElasticCoordinator` runs against a
+:class:`repro.bench.simcluster.SimulatedTell` deployment and executes
+elastic operations *while the workload runs*: every migration batch is a
+timed message (wire latency plus per-cell copy service on both storage
+nodes' core pools), so a rebalance visibly steals service capacity from
+foreground traffic -- the throughput dip the elastic bench suite
+measures -- and every state transition happens at an exact simulated
+instant.
+
+The coordinator is deliberately sequential: moves execute one at a time
+in plan order, so a fixed seed reproduces the identical migration
+schedule, epoch log, and digest on every run (pinned by the determinism
+tests).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, List, Optional, Sequence, Tuple
+
+from repro.elastic.migration import (DEFAULT_BATCH_CELLS, BatchCost,
+                                     MigrationStats, migrate_partition)
+from repro.elastic.topology import Move
+from repro.errors import InvalidState
+from repro.sim.kernel import Delay, delay_of
+
+#: Per-cell copy service time on each endpoint of a migration batch
+#: (microseconds).  Deliberately above the plain write service time: the
+#: copy path serializes, ships, and installs versioned cells.
+MIGRATION_CELL_US = 0.3
+#: Polling interval while a retired PN's terminals finish their in-flight
+#: transactions; recovery runs only once they have all exited, and rolls
+#: back whatever they abandoned (the infrastructure-failure path).
+PN_DRAIN_US = 500.0
+
+
+class ElasticCoordinator:
+    """Executes SN/PN scale-out and scale-in on the simulated timeline."""
+
+    def __init__(
+        self,
+        deployment: Any,
+        batch_cells: int = DEFAULT_BATCH_CELLS,
+        drain_pause_us: float = PN_DRAIN_US,
+    ):
+        self.deployment = deployment
+        self.sim = deployment.sim
+        self.fabric = deployment.fabric
+        self.cluster = deployment.cluster
+        self.topology = deployment.cluster.topology
+        self.batch_cells = batch_cells
+        self.drain_pause_us = drain_pause_us
+        self.stats = MigrationStats()
+        #: (sim_time_us, description) log of every elastic action, in
+        #: execution order -- the determinism tests pin this down.
+        self.events: List[Tuple[float, str]] = []
+        # Elastic operations serialize: planning against a topology whose
+        # handoffs another operation is still executing would produce
+        # colliding moves.  FIFO hand-off keeps the order deterministic.
+        self._busy = False
+        self._waiters: List[Any] = []
+
+    def _acquire(self) -> Generator:
+        if self._busy:
+            gate = self.sim.event()
+            self._waiters.append(gate)
+            yield gate  # the releasing operation hands the lock over
+        else:
+            self._busy = True
+
+    def _release(self) -> None:
+        if self._waiters:
+            self._waiters.pop(0).trigger(None)
+        else:
+            self._busy = False
+
+    def _log(self, message: str) -> None:
+        self.events.append((self.sim.now, message))
+
+    def _arm(self) -> None:
+        # From the first elastic operation on, requests may race topology
+        # changes: arm the fabric's apply-time ownership guard (and the
+        # WrongOwner error path behind it).  Never reset -- a finished
+        # migration still leaves moved-out tombstones behind.
+        if self.fabric.elastic_active:
+            return
+        self.fabric.elastic_active = True
+        from repro.dispatch import WrongOwnerRedirect
+
+        interceptors = self.deployment.interceptors
+        if not any(isinstance(mw, WrongOwnerRedirect) for mw in interceptors):
+            # Appended last = innermost: sanitizers (and any tracing)
+            # observe one logical request however many redirects it took.
+            interceptors.append(WrongOwnerRedirect())
+
+    # -- storage scale-out / scale-in -------------------------------------
+
+    def add_storage_node(self) -> Generator:
+        """Attach a fresh SN and rebalance partitions onto it, live."""
+        self._arm()
+        yield from self._acquire()
+        try:
+            node = self.cluster.create_node()
+            self.fabric.register_node(node.node_id)
+            self._log(f"sn-add {node.node_id} epoch={self.topology.epoch}")
+            moves = self.topology.plan_rebalance()
+            yield from self._run_moves(moves)
+            return node.node_id
+        finally:
+            self._release()
+
+    def remove_storage_node(self, node_id: int, drain: bool = True) -> Generator:
+        """Retire an SN.  ``drain=True`` migrates its partitions away
+        first; ``drain=False`` models a hard removal (crash + fail-over
+        through the management node, losing nothing only under RF>1)."""
+        self._arm()
+        yield from self._acquire()
+        try:
+            if drain:
+                moves = self.topology.plan_drain(node_id)
+                self._log(f"sn-drain {node_id} moves={len(moves)}")
+                yield from self._run_moves(moves)
+                node = self.cluster.nodes.get(node_id)
+                if node is not None and node.partitions:
+                    raise InvalidState(
+                        f"drain of storage node {node_id} left "
+                        f"{len(node.partitions)} partition(s) behind"
+                    )
+            else:
+                self._log(f"sn-kill {node_id}")
+                self.deployment.management.handle_node_failure(node_id)
+            self.cluster.detach_node(node_id)
+            self.fabric.sn_pools.pop(node_id, None)
+            self._log(f"sn-removed {node_id} epoch={self.topology.epoch}")
+        finally:
+            self._release()
+
+    def scale_storage_to(self, target: int) -> Generator:
+        """Grow or shrink the SN fleet to ``target`` members, live.
+
+        Growth attaches every missing node first and rebalances once --
+        a single planning pass moves each partition at most once, where
+        incremental :meth:`add_storage_node` calls would re-shuffle after
+        every attach.  Shrink drains the highest-numbered nodes one at a
+        time (each drain re-plans against the then-current membership).
+        Returns the resulting sorted node-id list.
+        """
+        if target < 1:
+            raise InvalidState("scale_storage_to needs target >= 1")
+        current = sorted(self.cluster.nodes)
+        if target > len(current):
+            self._arm()
+            yield from self._acquire()
+            try:
+                added = []
+                for _ in range(target - len(current)):
+                    node = self.cluster.create_node()
+                    self.fabric.register_node(node.node_id)
+                    added.append(node.node_id)
+                self._log(f"sn-scale {len(current)}->{target} added={added}")
+                yield from self._run_moves(self.topology.plan_rebalance())
+            finally:
+                self._release()
+        elif target < len(current):
+            for node_id in reversed(current[target:]):
+                yield from self.remove_storage_node(node_id)
+        return sorted(self.cluster.nodes)
+
+    def rebalance(self) -> Generator:
+        """Move partitions until master counts differ by at most one."""
+        self._arm()
+        yield from self._acquire()
+        try:
+            moves = self.topology.plan_rebalance()
+            self._log(f"rebalance moves={len(moves)}")
+            yield from self._run_moves(moves)
+            return len(moves)
+        finally:
+            self._release()
+
+    # -- processing scale-out / scale-in ----------------------------------
+
+    def grow_pns(self, n: int = 1) -> List[int]:
+        """Attach ``n`` fresh PNs; instant (a PN has no state to warm)."""
+        if n < 1:
+            raise InvalidState("grow_pns needs n >= 1")
+        self._arm()
+        new_ids = [self.deployment.start_pn() for _ in range(n)]
+        self._log(f"pn-add {new_ids}")
+        return new_ids
+
+    def shrink_pns(self, n: int = 1) -> Generator:
+        """Retire the ``n`` highest-numbered active PNs.
+
+        Their terminals exit at the next transaction boundary; after a
+        drain pause the stripe-recovery path (the same code a PN crash
+        takes) rolls back anything still in flight, so no transaction or
+        lav pin outlives its processing node.
+        """
+        active = self.deployment.active_pn_ids()
+        if n < 1 or n >= len(active):
+            raise InvalidState(
+                f"cannot shrink {n} of {len(active)} active PNs "
+                "(at least one must remain)"
+            )
+        self._arm()
+        yield from self._acquire()
+        try:
+            victims = active[-n:]
+            for pn_id in victims:
+                self.deployment.stop_pn(pn_id)
+            self._log(f"pn-stop {victims}")
+            # Wait for the victims' terminals to actually exit: they only
+            # observe the stop flag at a transaction boundary, and running
+            # recovery under a still-live transaction would roll it back
+            # underneath its own PN (the sanitizers catch that).
+            yield delay_of(self.drain_pause_us)
+            while not all(
+                self.deployment.pn_quiesced(pn_id) for pn_id in victims
+            ):
+                yield delay_of(self.drain_pause_us)
+            from repro.core.recovery import recover_processing_node
+            from repro.core.txlog import TransactionLog
+
+            rolled_back = 0
+            for pn_id in victims:
+                _pn, pool, cm_index, _indexes = self.deployment.pn_handle(pn_id)
+                tids = yield from self.deployment._drive(
+                    pool, cm_index,
+                    recover_processing_node(
+                        pn_id, self.deployment.commit_managers,
+                        TransactionLog()
+                    ),
+                    pn_id=pn_id,
+                )
+                rolled_back += len(tids)
+            self._log(f"pn-recovered {victims} rolled_back={rolled_back}")
+            return rolled_back
+        finally:
+            self._release()
+
+    # -- migration driving -------------------------------------------------
+
+    def _run_moves(self, moves: Sequence[Move]) -> Generator:
+        for move in moves:
+            yield from self._run_move(move)
+        self._log(
+            f"moves-done n={len(moves)} epoch={self.topology.epoch} "
+            f"balanced={self.topology.is_balanced()}"
+        )
+
+    def _run_move(self, move: Move) -> Generator:
+        steps = migrate_partition(
+            self.cluster, move, self.batch_cells, self.stats
+        )
+        committed = False
+        while True:
+            try:
+                cost = next(steps)
+            except StopIteration as stop:
+                committed = bool(stop.value)
+                break
+            yield from self._charge_batch(cost)
+        self._log(
+            f"move p{move.partition_id} {move.src}->{move.dst} "
+            f"{'ok' if committed else 'aborted'} epoch={self.topology.epoch}"
+        )
+        return committed
+
+    def _charge_batch(self, cost: BatchCost) -> Generator:
+        """Charge one migration batch: copy service on the source, wire
+        time for the batch payload, install service on the destination.
+        Reserving on the shared SN core pools is what makes a migration
+        compete with foreground requests for service capacity."""
+        fabric = self.fabric
+        profile = fabric.profile
+        now = self.sim.now
+        service = (
+            profile.server_cpu_per_msg_us + MIGRATION_CELL_US * cost.cells
+        )
+        t = now
+        src_pool = fabric.sn_pools.get(cost.src)
+        if src_pool is not None:
+            _s, t = src_pool.reserve(t, service)
+        t += profile.one_way(cost.nbytes)
+        dst_pool = fabric.sn_pools.get(cost.dst)
+        if dst_pool is not None:
+            _s, t = dst_pool.reserve(t, service)
+        if t > now:
+            yield Delay(t - now)

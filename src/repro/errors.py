@@ -42,6 +42,27 @@ class NodeUnavailable(TellError):
     """The addressed node has crashed and no replica could take over."""
 
 
+class WrongOwner(TellError):
+    """The addressed node no longer owns the partition (it migrated).
+
+    Raised during live rebalancing (:mod:`repro.elastic`) when a request
+    reaches a node after the partition's ownership moved in a newer
+    topology epoch.  The request is safe to re-issue: the
+    ``WrongOwnerRedirect`` dispatch interceptor re-routes it against the
+    current partition map.  The error is raised *before* any state
+    mutation, so redirected retries never double-apply.
+    """
+
+    def __init__(self, partition_id: int, node_id: int, owner_epoch: int = -1):
+        super().__init__(
+            f"partition {partition_id} is no longer owned by node "
+            f"{node_id} (topology epoch {owner_epoch})"
+        )
+        self.partition_id = partition_id
+        self.node_id = node_id
+        self.owner_epoch = owner_epoch
+
+
 class NoCapacity(TellError):
     """The storage layer ran out of memory capacity for the requested put."""
 

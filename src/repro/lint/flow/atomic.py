@@ -54,6 +54,7 @@ SHARED_CLASSES: Tuple[Symbol, ...] = (
     ("repro.store.management", "ManagementNode"),
     ("repro.index.btree", "DistributedBTree"),
     ("repro.index.btree", "IndexCache"),
+    ("repro.elastic.topology", "Topology"),
 )
 
 #: Transaction lifecycle typestate (RA004/RA005).

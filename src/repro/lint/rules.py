@@ -920,6 +920,71 @@ needs the read set must go through the protocol surface instead:
                 )
 
 
+class RL013TopologyEncapsulation(Rule):
+    code = "RL013"
+    title = "topology epoch/ownership state mutated outside repro.elastic"
+    explain = """\
+The versioned topology (repro.elastic.topology) owns all ownership
+state: the epoch counter (`epoch`), its audit trail (`epoch_log`), and
+the in-flight handoff registry (`_handoffs`).  Every mutation must go
+through its methods (`begin_handoff` / `finish_handoff` /
+`abort_handoff` / `fail_over`), because each one is a single atomic
+epoch step -- the invariant that lets in-flight requests detect a
+stale route with one `WrongOwner` check and lets migrations abort
+cleanly.  Library code elsewhere that bumps the epoch or edits the
+handoff table directly can create an ownerless instant, desynchronize
+the partition map from the epoch log, or leave a handoff the leak
+checker then reports.
+
+RL013 fires on any *mutation* -- assignment, augmented assignment,
+deletion, or a mutating method call (`append`, `pop`, `clear`, ...) --
+of an attribute named `epoch`, `epoch_log`, or `_handoffs` in a
+`repro.*` module outside the repro.elastic package.  Reading them is
+fine (the obs collectors and benches do); changing them is not.
+Tests and tools are out of scope (their module names are not under
+`repro.`).
+"""
+
+    #: The only package allowed to mutate topology state.
+    ELASTIC_PACKAGE = "repro.elastic"
+
+    _OWNERSHIP_STATE = frozenset({"epoch", "epoch_log", "_handoffs"})
+    _MUTATORS = frozenset({
+        "append", "extend", "insert", "remove", "pop", "popitem", "clear",
+        "update", "setdefault",
+    })
+
+    def check(self, module: ModuleSummary, tree: ast.Module,
+              index: ProjectIndex) -> Iterator[Tuple[ast.AST, str]]:
+        name = module.module
+        if not in_packages(name, ("repro",)):
+            return
+        if in_packages(name, (self.ELASTIC_PACKAGE,)):
+            return
+        for node in ast.walk(tree):
+            if (isinstance(node, ast.Attribute)
+                    and node.attr in self._OWNERSHIP_STATE
+                    and isinstance(node.ctx, (ast.Store, ast.Del))):
+                yield node, (
+                    f"module {name} mutates topology state `{node.attr}` "
+                    f"directly; only repro.elastic may -- go through the "
+                    f"Topology surface (begin/finish/abort_handoff, "
+                    f"fail_over)"
+                )
+            elif (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in self._MUTATORS
+                    and isinstance(node.func.value, ast.Attribute)
+                    and node.func.value.attr in self._OWNERSHIP_STATE):
+                yield node, (
+                    f"module {name} mutates topology state "
+                    f"`{node.func.value.attr}.{node.func.attr}(...)` "
+                    f"directly; only repro.elastic may -- go through the "
+                    f"Topology surface (begin/finish/abort_handoff, "
+                    f"fail_over)"
+                )
+
+
 ALL_RULES: List[Rule] = [
     RL001DroppedEffect(),
     RL002GeneratorNotDelegated(),
@@ -933,6 +998,7 @@ ALL_RULES: List[Rule] = [
     RL010SanitizerObservability(),
     RL011UninternedDelay(),
     RL012IsolationEncapsulation(),
+    RL013TopologyEncapsulation(),
 ]
 
 RULES_BY_CODE = {rule.code: rule for rule in ALL_RULES}

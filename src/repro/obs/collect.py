@@ -145,3 +145,44 @@ def watch_fabric(registry: MetricsRegistry, stats: object) -> None:
         gauge.set(stats.bytes_sent, what="bytes_sent")
 
     registry.register_collector(collect)
+
+
+def watch_topology(registry: MetricsRegistry, topology: object) -> None:
+    """Versioned-topology surface: epoch, membership, live migrations."""
+
+    def collect(reg: MetricsRegistry) -> None:
+        gauge = reg.gauge("repro_topology", "versioned topology state")
+        gauge.set(topology.epoch, what="epoch")
+        gauge.set(len(topology.node_ids()), what="nodes")
+        gauge.set(len(topology.migrations_in_flight()),
+                  what="migrations_in_flight")
+        gauge.set(1.0 if topology.is_balanced() else 0.0, what="balanced")
+        counts = topology.master_counts()
+        masters = reg.gauge("repro_topology_masters",
+                            "partitions mastered per storage node")
+        for node_id in sorted(counts):
+            masters.set(counts[node_id], node=str(node_id))
+
+    registry.register_collector(collect)
+
+
+def watch_autoscaler(registry: MetricsRegistry, autoscaler: object) -> None:
+    """Autoscaler activity: decisions taken and the latest signals."""
+
+    def collect(reg: MetricsRegistry) -> None:
+        gauge = reg.gauge("repro_autoscaler", "autoscaler decisions taken")
+        actions = {"sn-add": 0, "sn-remove": 0, "pn-grow": 0, "pn-shrink": 0}
+        for decision in autoscaler.decisions:
+            if decision.action in actions:
+                actions[decision.action] += 1
+        for action in sorted(actions):
+            gauge.set(actions[action], action=action)
+        gauge.set(len(autoscaler.decisions), action="ticks")
+        if autoscaler.decisions:
+            signals = autoscaler.decisions[-1].signals
+            latest = reg.gauge("repro_autoscaler_signals",
+                               "signals at the last autoscaler tick")
+            for name in sorted(signals):
+                latest.set(signals[name], signal=name)
+
+    registry.register_collector(collect)

@@ -20,14 +20,16 @@ simulated instant.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+import warnings
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro import effects
 from repro.dispatch.core import KIND_BATCH, KIND_SCAN, kind_of
+from repro.elastic.topology import PlacementSpec, Topology
 from repro.errors import InvalidState, NodeUnavailable
 from repro.store.cell import approx_size
 from repro.store.node import StorageNode
-from repro.store.partition import HashPartitioner, PartitionMap
+from repro.store.partition import PartitionMap
 
 
 class OpRouting:
@@ -83,12 +85,16 @@ class StorageCluster:
         capacity_bytes: Optional[int] = None,
         service_us_read: float = 1.2,
         service_us_write: float = 1.8,
+        placement: Union[str, PlacementSpec] = "hash",
     ):
         if n_nodes < 1:
             raise InvalidState("need at least one storage node")
         self.replication_factor = replication_factor
         # replica cell copies shipped to backups (repro.obs fan-out gauge)
         self.replication_copies = 0
+        self._default_capacity = capacity_bytes
+        self._service_us_read = service_us_read
+        self._service_us_write = service_us_write
         self.nodes: Dict[int, StorageNode] = {
             node_id: StorageNode(
                 node_id,
@@ -98,11 +104,16 @@ class StorageCluster:
             )
             for node_id in range(n_nodes)
         }
-        n_partitions = n_nodes * partitions_per_node
-        self.partitioner = HashPartitioner(n_partitions)
+        spec = PlacementSpec.parse(placement)
+        n_partitions = spec.partitions_for(n_nodes, partitions_per_node)
+        self.partitioner = spec.make_partitioner(n_partitions)
         self.partition_map = PartitionMap(
             n_partitions, list(self.nodes.keys()), replication_factor
         )
+        # The versioned ownership layer (repro.elastic) wraps the SAME
+        # partitioner/partition-map objects, so the static routing paths
+        # above stay byte-identical when no elastic operation ever runs.
+        self.topology = Topology(self.partitioner, self.partition_map, spec)
         for partition_id in range(n_partitions):
             for node_id in self.partition_map.replicas_of(partition_id):
                 self.nodes[node_id].host_partition(partition_id)
@@ -251,12 +262,57 @@ class StorageCluster:
     def total_bytes(self) -> int:
         return sum(node.bytes_used for node in self.nodes.values())
 
+    def create_node(
+        self, capacity_bytes: Optional[int] = None
+    ) -> StorageNode:
+        """Attach a fresh, empty storage node and register it with the
+        topology (epoch bump).  The node owns nothing until a rebalance
+        assigns it partitions -- :class:`repro.api.admin.ClusterAdmin`
+        and :class:`repro.elastic.ElasticCoordinator` pair this with a
+        migration."""
+        node_id = max(self.nodes.keys()) + 1 if self.nodes else 0
+        node = StorageNode(
+            node_id,
+            capacity_bytes=(
+                capacity_bytes if capacity_bytes is not None
+                else self._default_capacity
+            ),
+            service_us_read=self._service_us_read,
+            service_us_write=self._service_us_write,
+        )
+        self.nodes[node_id] = node
+        self.topology.add_node(node_id)
+        return node
+
+    def detach_node(self, node_id: int) -> StorageNode:
+        """Remove a drained node from the cluster (it must host nothing)."""
+        node = self.nodes.get(node_id)
+        if node is None:
+            raise InvalidState(f"no storage node {node_id}")
+        if node.partitions:
+            raise InvalidState(
+                f"storage node {node_id} still hosts "
+                f"{len(node.partitions)} partition(s); drain first"
+            )
+        if node_id in self.partition_map.node_ids:
+            self.topology.remove_node(node_id)
+        return self.nodes.pop(node_id)
+
     def add_node(
         self, capacity_bytes: Optional[int] = None
     ) -> StorageNode:
-        """Elasticity: attach a fresh, empty storage node."""
-        node_id = max(self.nodes.keys()) + 1
-        node = StorageNode(node_id, capacity_bytes=capacity_bytes)
-        self.nodes[node_id] = node
-        self.partition_map.node_ids.append(node_id)
-        return node
+        """Deprecated: attach a storage node by mutating the cluster.
+
+        Use ``db.admin().add_storage_node()`` (the
+        :class:`repro.api.admin.ClusterAdmin` surface), which also
+        rebalances partitions onto the new node.  This shim only
+        registers the (empty) node with the topology.
+        """
+        warnings.warn(
+            "StorageCluster.add_node() is deprecated; use "
+            "db.admin().add_storage_node() which also rebalances "
+            "partitions onto the new node",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.create_node(capacity_bytes)

@@ -15,7 +15,7 @@ from __future__ import annotations
 import bisect
 from typing import Any, Dict, List, Optional, Tuple
 
-from repro.errors import KeyNotFound, NoCapacity, NodeUnavailable
+from repro.errors import KeyNotFound, NoCapacity, NodeUnavailable, WrongOwner
 from repro.store.cell import Cell, approx_size
 
 SpaceDict = Dict[Any, Cell]
@@ -68,6 +68,11 @@ class StorageNode:
         self.service_us_write = service_us_write
         self.alive = True
         self.partitions: Dict[int, PartitionStore] = {}
+        # Partitions that migrated away (pid -> topology epoch of the
+        # handoff): requests for them raise WrongOwner, not KeyNotFound,
+        # so the dispatch layer re-routes instead of treating the key as
+        # absent.  Empty on the static-topology path.
+        self.moved_out: Dict[int, int] = {}
         self.bytes_used = 0
         # op accounting, harvested by repro.obs collectors at snapshot time
         self.ops_read = 0
@@ -81,6 +86,8 @@ class StorageNode:
     def host_partition(self, partition_id: int) -> PartitionStore:
         store = self.partitions.get(partition_id)
         if store is None:
+            if self.moved_out:
+                self.moved_out.pop(partition_id, None)
             store = PartitionStore(partition_id)
             self.partitions[partition_id] = store
         return store
@@ -90,13 +97,24 @@ class StorageNode:
         if store is not None:
             self.bytes_used -= store.bytes_used
 
+    def release_partition(self, partition_id: int, owner_epoch: int) -> None:
+        """Drop a partition that migrated away, leaving a moved-out
+        tombstone so stragglers get :class:`WrongOwner` (re-routable)
+        instead of :class:`KeyNotFound` (a data statement)."""
+        self.drop_partition(partition_id)
+        self.moved_out[partition_id] = owner_epoch
+
     def partition(self, partition_id: int) -> PartitionStore:
         try:
             return self.partitions[partition_id]
         except KeyError:
+            if partition_id in self.moved_out:
+                raise WrongOwner(
+                    partition_id, self.node_id, self.moved_out[partition_id]
+                ) from None
             raise KeyNotFound(
                 f"node {self.node_id} does not host partition {partition_id}"
-            )
+            ) from None
 
     # -- failure -----------------------------------------------------------
 
@@ -104,11 +122,13 @@ class StorageNode:
         """Simulate a crash-stop failure: data is volatile and lost."""
         self.alive = False
         self.partitions = {}
+        self.moved_out = {}
         self.bytes_used = 0
 
     def restart(self) -> None:
         """Bring the node back empty; the management node must re-add it."""
         self.alive = True
+        self.moved_out = {}
 
     def _check_alive(self) -> None:
         if not self.alive:

@@ -1,0 +1,402 @@
+"""Tests for live elasticity: topology, migration, admin API, autoscaler.
+
+Covers the versioned-topology unit surface, the bounded-batch migration
+protocol (including the no-leak guarantee after aborted migrations), the
+``db.admin()`` cluster-administration API, the live simulated
+double/halve cycle under the sanitizer suite at every isolation level,
+fixed-seed determinism of migration schedules, mid-migration SN-kill
+chaos, and the deterministic autoscaler policy.
+"""
+
+import pytest
+
+import repro
+from repro.bench.config import TellConfig
+from repro.elastic.autoscaler import Autoscaler, AutoscalerPolicy
+from repro.elastic.coordinator import ElasticCoordinator
+from repro.elastic.migration import (assert_migration_clean, capture_pins,
+                                     migrate_partition, run_moves_direct)
+from repro.elastic.topology import PlacementSpec
+from repro.errors import InvalidState
+from repro.sim.kernel import delay_of
+from repro.store.cluster import StorageCluster
+from repro.workloads.tpcc.params import TpccScale
+
+
+def make_cluster(n_nodes=3, rf=2, ppn=4):
+    return StorageCluster(n_nodes=n_nodes, replication_factor=rf,
+                          partitions_per_node=ppn)
+
+
+def sim_config(**overrides):
+    defaults = dict(
+        processing_nodes=2,
+        storage_nodes=2,
+        threads_per_pn=4,
+        scale=TpccScale.tiny(2),
+        duration_us=120_000.0,
+        warmup_us=10_000.0,
+        seed=7,
+    )
+    defaults.update(overrides)
+    return TellConfig(**defaults)
+
+
+class TestPlacementSpec:
+    def test_parse_plain_and_virtual(self):
+        assert PlacementSpec.parse("hash").kind == "hash"
+        spec = PlacementSpec.parse("range:16")
+        assert (spec.kind, spec.virtual_nodes) == ("range", 16)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(InvalidState):
+            PlacementSpec.parse("consistent-hashing")
+
+    def test_malformed_count_rejected(self):
+        with pytest.raises(InvalidState):
+            PlacementSpec.parse("hash:lots")
+
+    def test_database_config_validates_placement(self):
+        with pytest.raises(InvalidState):
+            repro.connect(storage_nodes=2, placement="bogus")
+
+    def test_range_placement_deployable(self):
+        with repro.connect(storage_nodes=2, placement="range") as db:
+            assert db.cluster.topology.placement.kind == "range"
+
+
+class TestTopology:
+    def test_every_membership_change_bumps_epoch(self):
+        cluster = make_cluster()
+        topo = cluster.topology
+        assert topo.epoch == 1
+        node = cluster.create_node()
+        assert topo.epoch == 2
+        run_moves_direct(cluster, topo.plan_drain(node.node_id))
+        cluster.detach_node(node.node_id)
+        assert topo.epoch > 2
+        assert [entry[0] for entry in topo.epoch_log] == \
+            list(range(1, topo.epoch + 1))
+
+    def test_duplicate_handoff_rejected(self):
+        cluster = make_cluster()
+        topo = cluster.topology
+        cluster.create_node()
+        move = topo.plan_rebalance()[0]
+        topo.begin_handoff(move.partition_id, move.src, move.dst)
+        with pytest.raises(InvalidState):
+            topo.begin_handoff(move.partition_id, move.src, move.dst)
+
+    def test_finish_handoff_promotes_atomically(self):
+        cluster = make_cluster()
+        topo = cluster.topology
+        node = cluster.create_node()
+        move = next(m for m in topo.plan_rebalance()
+                    if m.dst == node.node_id)
+        assert topo.owner_of(move.partition_id) == move.src
+        handoff = topo.begin_handoff(move.partition_id, move.src, move.dst)
+        # mid-handoff the destination rides along as an extra backup
+        replicas = topo.ownership()[move.partition_id]
+        assert replicas[0] == move.src and move.dst in replicas
+        topo.finish_handoff(handoff)
+        replicas = topo.ownership()[move.partition_id]
+        assert replicas[0] == move.dst and move.src not in replicas
+
+    def test_fail_over_aborts_touching_handoffs(self):
+        cluster = make_cluster()
+        topo = cluster.topology
+        node = cluster.create_node()
+        move = next(m for m in topo.plan_rebalance()
+                    if m.dst == node.node_id)
+        handoff = topo.begin_handoff(move.partition_id, move.src, move.dst)
+        cluster.nodes[move.src].crash()
+        topo.fail_over(move.src, [n for n in topo.node_ids()
+                                  if n != move.src])
+        assert not topo.handoff_active(handoff)
+        assert not topo.migrations_in_flight()
+
+    def test_plans_are_deterministic(self):
+        plans = []
+        for _ in range(2):
+            cluster = make_cluster()
+            cluster.create_node()
+            plans.append([
+                (m.partition_id, m.src, m.dst)
+                for m in cluster.topology.plan_rebalance()
+            ])
+        assert plans[0] == plans[1] and plans[0]
+
+    def test_plan_drain_avoids_drained_node(self):
+        cluster = make_cluster(n_nodes=4)
+        moves = cluster.topology.plan_drain(1)
+        assert moves
+        assert all(m.src == 1 and m.dst != 1 for m in moves)
+
+
+class TestClusterAdmin:
+    def _fill(self, session, rows=60):
+        session.execute(
+            "CREATE TABLE kv (id INT PRIMARY KEY, v INT)"
+        )
+        for i in range(rows):
+            session.execute("INSERT INTO kv VALUES (?, ?)", [i, i * 3])
+
+    def test_add_then_drain_keeps_data(self):
+        with repro.connect(storage_nodes=3, replication_factor=2) as db:
+            session = db.session()
+            self._fill(session)
+            with db.admin() as admin:
+                node_id = admin.add_storage_node()
+                assert db.cluster.topology.is_balanced()
+                admin.remove_storage_node(node_id, drain=True)
+            assert len(db.cluster.nodes) == 3
+            rows = session.query("SELECT COUNT(*) AS n, SUM(v) AS s FROM kv")
+            assert rows[0]["n"] == 60
+            assert rows[0]["s"] == sum(i * 3 for i in range(60))
+
+    def test_wait_balanced_and_topology_view(self):
+        with repro.connect(storage_nodes=2) as db:
+            with db.admin() as admin:
+                admin.add_storage_node(rebalance=False)
+                admin.wait_balanced()
+                view = admin.topology()
+        assert view["balanced"] is True
+        assert view["epoch"] == db.cluster.topology.epoch
+        assert sorted(view["master_counts"]) == view["nodes"]
+        assert view["n_partitions"] == db.cluster.partitioner.n_partitions
+
+    def test_pn_grow_shrink(self):
+        with repro.connect(storage_nodes=2) as db:
+            session = db.session()
+            session.execute("CREATE TABLE t (id INT PRIMARY KEY)")
+            with db.admin() as admin:
+                new = admin.grow_pns(2)
+                assert len(db.processing_nodes) >= 3
+                rolled_back = admin.shrink_pns(2)
+            assert rolled_back == []
+            assert all(pn not in db.processing_nodes for pn in new)
+
+    def test_closed_database_refuses_admin(self):
+        db = repro.connect(storage_nodes=2)
+        db.close()
+        with pytest.raises(InvalidState):
+            db.admin()
+
+    def test_direct_cluster_mutation_warns(self):
+        with repro.connect(storage_nodes=2) as db:
+            with pytest.deprecated_call():
+                db.cluster.add_node()
+
+
+class TestMigrationLeaks:
+    def test_aborted_migration_leaks_nothing(self):
+        """The regression the ``_backfill_index`` leak taught us to pin:
+        an aborted migration must leave no handoff residue, no partial
+        copy, no open transaction, and no lav pin."""
+        with repro.connect(storage_nodes=3, replication_factor=2) as db:
+            session = db.session()
+            session.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+            for i in range(40):
+                session.execute("INSERT INTO t VALUES (?, ?)", [i, i])
+            cluster = db.cluster
+            pins = capture_pins(db.commit_managers)
+            with db.admin() as admin:
+                admin.add_storage_node(rebalance=False)
+            moves = cluster.topology.plan_rebalance()
+            move = moves[0]
+            steps = migrate_partition(cluster, move, batch_cells=1)
+            next(steps)  # first batch yielded; handoff registered
+            assert cluster.topology.migrations_in_flight()
+            cluster.nodes[move.dst].crash()  # destination dies mid-copy
+            with pytest.raises(StopIteration) as outcome:
+                while True:
+                    next(steps)
+            assert outcome.value.value is False  # aborted, not committed
+            cluster.nodes[move.dst].restart()
+            assert_migration_clean(cluster, db.commit_managers, pins)
+
+    def test_committed_migration_leaks_nothing(self):
+        with repro.connect(storage_nodes=2) as db:
+            session = db.session()
+            session.execute("CREATE TABLE t (id INT PRIMARY KEY)")
+            for i in range(20):
+                session.execute("INSERT INTO t VALUES (?)", [i])
+            pins = capture_pins(db.commit_managers)
+            with db.admin() as admin:
+                admin.add_storage_node()
+            assert_migration_clean(db.cluster, db.commit_managers, pins)
+
+
+def _run_diurnal(config, double_at=30_000.0, halve_at=70_000.0):
+    """Build a deployment, schedule a live SN double + halve, run it."""
+    from repro.bench.simcluster import SimulatedTell
+
+    deployment = SimulatedTell(config)
+    deployment.load()
+    coordinator = ElasticCoordinator(deployment, batch_cells=64)
+    sim = deployment.sim
+    base = config.storage_nodes
+    sim.call_at(double_at, lambda: sim.spawn(
+        coordinator.scale_storage_to(base * 2), name="double"))
+    sim.call_at(halve_at, lambda: sim.spawn(
+        coordinator.scale_storage_to(base), name="halve"))
+    metrics = deployment.run()
+    return deployment, coordinator, metrics
+
+
+class TestLiveElasticity:
+    @pytest.mark.parametrize("isolation", ["si", "wsi", "ssi"])
+    def test_diurnal_double_halve_sanitized(self, isolation, monkeypatch):
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        deployment, coordinator, metrics = _run_diurnal(
+            sim_config(isolation=isolation)
+        )
+        # run() already asserted the sanitizer log is clean
+        assert metrics.total_committed > 50
+        assert coordinator.stats.partitions_moved > 0
+        assert len(deployment.cluster.nodes) == 2
+        deployment.cluster.topology.assert_no_leaks(deployment.cluster)
+
+    def test_fixed_seed_reproduces_migration_schedule(self):
+        runs = []
+        for _ in range(2):
+            deployment, coordinator, metrics = _run_diurnal(sim_config())
+            runs.append((
+                coordinator.events,
+                list(deployment.cluster.topology.epoch_log),
+                metrics.digest(),
+            ))
+        assert runs[0] == runs[1]
+
+    def test_wrong_owner_redirects_recover(self):
+        deployment, coordinator, metrics = _run_diurnal(sim_config())
+        from repro.dispatch import WrongOwnerRedirect
+
+        redirectors = [mw for mw in deployment.interceptors
+                       if isinstance(mw, WrongOwnerRedirect)]
+        assert len(redirectors) == 1
+        # Redirects happened and every one of them recovered: no
+        # WrongOwner error ever surfaced as a transaction outcome.
+        assert metrics.total_committed > 50
+
+    def test_pn_pool_grows_and_shrinks_live(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        from repro.bench.simcluster import SimulatedTell
+
+        deployment = SimulatedTell(sim_config())
+        deployment.load()
+        coordinator = ElasticCoordinator(deployment)
+        sim = deployment.sim
+        sim.call_at(30_000.0, lambda: coordinator.grow_pns(2))
+        sim.call_at(70_000.0, lambda: sim.spawn(
+            coordinator.shrink_pns(2), name="shrink"))
+        metrics = deployment.run()
+        assert metrics.total_committed > 50
+        assert deployment.active_pn_ids() == [0, 1]
+        events = [what for _at, what in coordinator.events]
+        assert any(what.startswith("pn-add") for what in events)
+        assert any(what.startswith("pn-recovered") for what in events)
+
+    def test_sn_kill_mid_migration_chaos(self, monkeypatch):
+        """Kill the source of the first in-flight handoff: the fail-over
+        aborts it, the migration unwinds, the run stays clean."""
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        from repro.bench.simcluster import SimulatedTell
+
+        config = sim_config(storage_nodes=3, replication_factor=2)
+        deployment = SimulatedTell(config)
+        deployment.load()
+        coordinator = ElasticCoordinator(deployment, batch_cells=8)
+        sim = deployment.sim
+        topo = deployment.cluster.topology
+        sim.call_at(30_000.0, lambda: sim.spawn(
+            coordinator.scale_storage_to(4), name="grow"))
+        killed = []
+
+        def killer():
+            while not topo.migrations_in_flight():
+                yield delay_of(50.0)
+            victim = topo.migrations_in_flight()[0].src
+            deployment.management.handle_node_failure(victim)
+            killed.append(victim)
+
+        sim.spawn(killer(), name="killer")
+        metrics = deployment.run()
+        assert killed, "the chaos process never found a live handoff"
+        assert metrics.total_committed > 50
+        assert coordinator.stats.aborted_handoffs >= 1
+        assert any("fail-over" in reason
+                   for _epoch, reason in topo.epoch_log)
+        topo.assert_no_leaks(deployment.cluster)
+
+
+class TestAutoscaler:
+    def _autoscaler(self, **policy):
+        from repro.bench.simcluster import SimulatedTell
+
+        deployment = SimulatedTell(sim_config())
+        coordinator = ElasticCoordinator(deployment)
+        return Autoscaler(coordinator, AutoscalerPolicy(**policy))
+
+    def _signals(self, queue=0.0, p99=0.0, aborts=0.0, txns=100.0):
+        return {"queue_us": queue, "p99_us": p99, "abort_rate": aborts,
+                "txns": txns}
+
+    def test_policy_validation(self):
+        with pytest.raises(InvalidState):
+            AutoscalerPolicy(interval_us=0)
+        with pytest.raises(InvalidState):
+            AutoscalerPolicy(min_storage_nodes=8, max_storage_nodes=4)
+
+    def test_sustained_backlog_scales_storage_out(self):
+        scaler = self._autoscaler(evidence_ticks=2)
+        assert scaler.decide(self._signals(queue=100.0)) is None
+        assert scaler.decide(self._signals(queue=100.0)) == "sn-add"
+
+    def test_tail_latency_without_backlog_grows_pns(self):
+        scaler = self._autoscaler(evidence_ticks=2)
+        assert scaler.decide(self._signals(p99=5_000.0)) is None
+        assert scaler.decide(self._signals(p99=5_000.0)) == "pn-grow"
+
+    def test_sustained_idleness_scales_storage_in(self):
+        scaler = self._autoscaler(evidence_ticks=2, min_storage_nodes=1)
+        assert scaler.decide(self._signals(queue=0.5, p99=100.0)) is None
+        assert scaler.decide(self._signals(queue=0.5, p99=100.0)) \
+            == "sn-remove"
+
+    def test_contention_thrashing_shrinks_pns(self):
+        scaler = self._autoscaler()
+        # the deployment has not run yet: mark its PN pool live by hand
+        scaler.deployment._pn_active.update({0: True, 1: True})
+        assert scaler.decide(self._signals(aborts=0.6)) == "pn-shrink"
+
+    def test_bounds_respected(self):
+        scaler = self._autoscaler(evidence_ticks=1, min_storage_nodes=2,
+                                  max_storage_nodes=2)
+        assert scaler.decide(self._signals(queue=100.0)) is None
+        assert scaler.decide(self._signals(queue=0.5, p99=1.0)) is None
+
+    def test_no_evidence_without_traffic(self):
+        scaler = self._autoscaler(evidence_ticks=1)
+        assert scaler.decide(self._signals(queue=100.0, txns=0.0)) is None
+
+    def test_live_run_decision_log_is_deterministic(self):
+        logs = []
+        for _ in range(2):
+            from repro.bench.simcluster import SimulatedTell
+
+            deployment = SimulatedTell(sim_config(threads_per_pn=8))
+            deployment.load()
+            coordinator = ElasticCoordinator(deployment)
+            scaler = Autoscaler(coordinator, AutoscalerPolicy(
+                interval_us=20_000.0, evidence_ticks=2, cooldown_ticks=1,
+                min_storage_nodes=2, max_storage_nodes=4,
+            ))
+            deployment.sim.spawn(
+                scaler.process(deployment.config.duration_us),
+                name="autoscaler",
+            )
+            deployment.run()
+            logs.append(scaler.decision_log())
+        assert logs[0] == logs[1]
+        assert logs[0]  # it ticked

@@ -758,6 +758,64 @@ class TestRL012:
         """, module="repro.core.fixture") == []
 
 
+# ---------------------------------------------------------------------------
+# RL013 -- topology epoch/ownership state mutated outside repro.elastic
+# ---------------------------------------------------------------------------
+
+
+class TestRL013:
+    def test_epoch_store_fires(self):
+        assert codes("""
+            def rewind(topology):
+                topology.epoch = 1
+        """, module="repro.store.cluster") == ["RL013"]
+
+    def test_epoch_augassign_fires(self):
+        assert codes("""
+            def bump(topology):
+                topology.epoch += 1
+        """, module="repro.bench.simcluster") == ["RL013"]
+
+    def test_handoffs_mutating_call_fires(self):
+        assert codes("""
+            def forge(topology, handoff):
+                topology._handoffs.pop(handoff.partition_id)
+        """, module="repro.store.management") == ["RL013"]
+
+    def test_epoch_log_append_fires(self):
+        assert codes("""
+            def fake(topology):
+                topology.epoch_log.append((99, "forged"))
+        """, module="repro.api.admin") == ["RL013"]
+
+    def test_epoch_read_is_clean(self):
+        # Reads are the supported surface: obs gauges and benches report
+        # the epoch without owning it.
+        assert codes("""
+            def report(topology):
+                return (topology.epoch, list(topology.epoch_log))
+        """, module="repro.obs.collect") == []
+
+    def test_elastic_package_is_exempt(self):
+        assert codes("""
+            def _bump(self, reason):
+                self.epoch += 1
+                self.epoch_log.append((self.epoch, reason))
+        """, module="repro.elastic.topology") == []
+
+    def test_outside_repro_is_exempt(self):
+        assert codes("""
+            def reset(topology):
+                topology.epoch = 1
+        """, module="test_elastic") == []
+
+    def test_suppression(self):
+        assert codes("""
+            def probe(topology):
+                topology.epoch = 7  # repro-lint: ignore[RL013] fixture
+        """, module="repro.core.fixture") == []
+
+
 class TestEngine:
     def test_skip_file(self):
         assert codes("""
